@@ -1,0 +1,58 @@
+//! Error-latching-window machinery: interval-set operations and the
+//! exact eq. (3) backward propagation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netlist::generator::GeneratorConfig;
+use netlist::rng::Xoshiro256;
+use netlist::DelayModel;
+use retime::{ElwParams, LrLabels, RetimeGraph, Retiming};
+use ser_engine::elw::compute_elws;
+use ser_engine::IntervalSet;
+
+fn bench_interval_sets(c: &mut Criterion) {
+    c.bench_function("interval_insert_1000", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let ops: Vec<(i64, i64)> = (0..1000)
+            .map(|_| {
+                let lo = rng.gen_range(100_000) as i64;
+                (lo, lo + rng.gen_range(50) as i64)
+            })
+            .collect();
+        b.iter(|| {
+            let mut set = IntervalSet::new();
+            for &(lo, hi) in &ops {
+                set.insert(lo, hi);
+            }
+            set.total_length()
+        })
+    });
+}
+
+fn bench_elw_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elw_eq3");
+    group.sample_size(20);
+    for gates in [400usize, 1200] {
+        let circuit = GeneratorConfig::new("elw", gates as u64)
+            .gates(gates)
+            .registers(gates / 5)
+            .build();
+        let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
+        let r = Retiming::zero(&graph);
+        let phi = retime::timing::clock_period(&graph, &r).unwrap() + 2;
+        let params = ElwParams::with_phi(phi);
+        group.bench_with_input(
+            BenchmarkId::new("exact_intervals", gates),
+            &(&graph, &r),
+            |b, (g, r)| b.iter(|| compute_elws(g, r, params).unwrap().len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lr_bounds", gates),
+            &(&graph, &r),
+            |b, (g, r)| b.iter(|| LrLabels::compute(g, r, params).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_sets, bench_elw_propagation);
+criterion_main!(benches);

@@ -1,0 +1,238 @@
+//! `retimer` — the end-user command line tool: read a gate-level
+//! netlist, analyze its SER, retime it for soft error minimization
+//! (MinObsWin, or the MinObs baseline), verify equivalence, and write
+//! the retimed netlist plus a machine-readable report.
+//!
+//! ```text
+//! retimer INPUT[.bench|.blif|.v] [options]
+//!
+//!   --method minobs|minobswin|both   optimizer (default: both)
+//!   --out FILE                       write the (MinObsWin) retimed netlist
+//!                                    (format from the extension)
+//!   --report FILE.csv                append a CSV result row
+//!   --vectors K  --frames N          simulation size (default 1024 / 15)
+//!   --seed S                         stimulus seed
+//!   --no-equiv                       skip the bounded equivalence check
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use minobswin::experiment::{run_circuit, MethodResult, RunConfig};
+use netlist::{bench_format, blif, verilog, Circuit, DelayModel, NetlistError};
+use retime::apply::apply_retiming;
+use retime::RetimeGraph;
+use ser_engine::equiv::{check_equivalence, EquivConfig};
+use ser_engine::sim::SimConfig;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    input: String,
+    method: String,
+    out: Option<String>,
+    report: Option<String>,
+    vectors: usize,
+    frames: usize,
+    seed: u64,
+    equiv: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut options = Options {
+        input: String::new(),
+        method: "both".into(),
+        out: None,
+        report: None,
+        vectors: 1024,
+        frames: 15,
+        seed: 0xC0FFEE,
+        equiv: true,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--method" => options.method = args.next().ok_or("--method needs a value")?,
+            "--out" => options.out = Some(args.next().ok_or("--out needs a path")?),
+            "--report" => options.report = Some(args.next().ok_or("--report needs a path")?),
+            "--vectors" => {
+                options.vectors = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--vectors needs a positive integer")?
+            }
+            "--frames" => {
+                options.frames = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--frames needs a positive integer")?
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            "--no-equiv" => options.equiv = false,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: retimer INPUT[.bench|.blif|.v] [--method minobs|minobswin|both] \
+                     [--out FILE] [--report FILE.csv] [--vectors K] [--frames N] \
+                     [--seed S] [--no-equiv]"
+                );
+                std::process::exit(0);
+            }
+            other if options.input.is_empty() && !other.starts_with('-') => {
+                options.input = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if options.input.is_empty() {
+        return Err("missing input netlist (try --help)".into());
+    }
+    if !matches!(options.method.as_str(), "minobs" | "minobswin" | "both") {
+        return Err(format!("unknown method `{}`", options.method));
+    }
+    Ok(options)
+}
+
+fn read_netlist(path: &str) -> Result<Circuit, NetlistError> {
+    match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some("bench") => bench_format::read_file(path),
+        Some("blif") => blif::read_file(path),
+        Some("v") | Some("verilog") => verilog::read_file(path),
+        _ => Err(NetlistError::Parse {
+            line: 0,
+            message: "unknown input format (use .bench, .blif or .v)".into(),
+        }),
+    }
+}
+
+fn write_netlist(circuit: &Circuit, path: &str) -> Result<(), NetlistError> {
+    match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some("bench") => bench_format::write_file(circuit, path),
+        Some("blif") => blif::write_file(circuit, path),
+        Some("v") | Some("verilog") => verilog::write_file(circuit, path),
+        _ => Err(NetlistError::Parse {
+            line: 0,
+            message: "unknown output format (use .bench, .blif or .v)".into(),
+        }),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_args()?;
+    let circuit = read_netlist(&options.input).map_err(|e| e.to_string())?;
+    eprintln!("read {circuit}");
+
+    let config = RunConfig {
+        sim: SimConfig {
+            num_vectors: options.vectors,
+            frames: options.frames,
+            warmup: 16,
+            seed: options.seed,
+        },
+        ..RunConfig::default()
+    };
+    let run = run_circuit(&circuit, &config).map_err(|e| e.to_string())?;
+
+    println!(
+        "Phi = {} ({}), R_min = {}",
+        run.phi,
+        if run.used_setup_hold { "setup+hold init" } else { "min-period fallback" },
+        run.r_min
+    );
+    println!("original : #FF {:>6}  SER {:.4e}", run.ff, run.ser_original);
+    let show = |label: &str, m: &MethodResult| {
+        println!(
+            "{label}: #FF {:>6}  SER {:.4e}  (dSER {:+.2}%, dFF {:+.2}%, {:.3}s, #J {})",
+            m.registers,
+            m.ser,
+            m.delta_ser * 100.0,
+            m.delta_ff * 100.0,
+            m.solve_seconds,
+            m.stats.commits
+        );
+    };
+    if options.method != "minobswin" {
+        show("minobs   ", &run.minobs);
+    }
+    if options.method != "minobs" {
+        show("minobswin", &run.minobswin);
+    }
+    if options.method == "both" {
+        println!("SER_ref / SER_new = {:.0}%", run.ser_ratio() * 100.0);
+    }
+
+    let chosen = if options.method == "minobs" { &run.minobs } else { &run.minobswin };
+    let delays = DelayModel::default();
+    let graph = RetimeGraph::from_circuit(&circuit, &delays).map_err(|e| e.to_string())?;
+    let rebuilt =
+        apply_retiming(&circuit, &graph, &chosen.retiming).map_err(|e| e.to_string())?;
+
+    if options.equiv {
+        let verdict = check_equivalence(&circuit, &rebuilt, EquivConfig::default());
+        if verdict.is_equivalent() {
+            println!("equivalence: OK (bounded random check)");
+        } else {
+            println!(
+                "equivalence: INCONCLUSIVE ({verdict:?}) — likely an initial-state \
+                 phase difference; inspect before signoff"
+            );
+        }
+    }
+
+    if let Some(out) = &options.out {
+        write_netlist(&rebuilt, out).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    if let Some(report) = &options.report {
+        append_csv(report, &run).map_err(|e| e.to_string())?;
+        println!("appended {report}");
+    }
+    Ok(())
+}
+
+fn append_csv(path: &str, run: &minobswin::experiment::CircuitRun) -> std::io::Result<()> {
+    use std::io::Write;
+    let exists = Path::new(path).exists();
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if !exists {
+        writeln!(
+            file,
+            "circuit,v,e,ff,phi,rmin,setup_hold,ser_original,\
+             minobs_ff,minobs_ser,minobs_seconds,minobs_commits,\
+             minobswin_ff,minobswin_ser,minobswin_seconds,minobswin_commits,ser_ratio"
+        )?;
+    }
+    writeln!(
+        file,
+        "{},{},{},{},{},{},{},{:e},{},{:e},{},{},{},{:e},{},{},{}",
+        run.name,
+        run.v,
+        run.e,
+        run.ff,
+        run.phi,
+        run.r_min,
+        run.used_setup_hold,
+        run.ser_original,
+        run.minobs.registers,
+        run.minobs.ser,
+        run.minobs.solve_seconds,
+        run.minobs.stats.commits,
+        run.minobswin.registers,
+        run.minobswin.ser,
+        run.minobswin.solve_seconds,
+        run.minobswin.stats.commits,
+        run.ser_ratio(),
+    )
+}

@@ -1,0 +1,77 @@
+//! Regenerates the paper's **Table I** on synthetic twins of the 21
+//! ISCAS89/ITC99 circuits.
+//!
+//! ```text
+//! cargo run -p minobswin-bench --release --bin table1 -- [--scale N]
+//!     [--giant-extra N] [--filter SUBSTR] [--vectors K] [--frames N] [--full]
+//! ```
+//!
+//! `--full` runs unscaled twins (hours of runtime on the b18/b19
+//! twins); the default `--scale 16` reproduces the qualitative shape in
+//! minutes.
+
+use bench_harness::{format_table, run_table1, Table1Options};
+
+fn main() {
+    let mut options = Table1Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                options.scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a positive integer"));
+            }
+            "--giant-extra" => {
+                options.giant_extra_scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--giant-extra needs a positive integer"));
+            }
+            "--filter" => {
+                options.filter = Some(args.next().unwrap_or_else(|| usage("--filter needs a value")));
+            }
+            "--vectors" => {
+                options.num_vectors = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--vectors needs a positive integer"));
+            }
+            "--frames" => {
+                options.frames = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--frames needs a positive integer"));
+            }
+            "--full" => {
+                options.scale = 1;
+                options.giant_extra_scale = 1;
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    eprintln!(
+        "running Table I twins at scale 1/{} (giants 1/{}), K={}, n={} ...",
+        options.scale,
+        options.scale * options.giant_extra_scale,
+        options.num_vectors,
+        options.frames
+    );
+    let rows = run_table1(&options);
+    println!("{}", format_table(&rows));
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: table1 [--scale N] [--giant-extra N] [--filter SUBSTR] \
+         [--vectors K] [--frames N] [--full]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

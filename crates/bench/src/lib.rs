@@ -1,0 +1,19 @@
+//! # bench_harness — reproduction harness for the paper's evaluation
+//!
+//! Everything needed to regenerate the paper's Table I and the figure
+//! phenomena: synthetic twins of the 21 ISCAS89/ITC99 circuits, the
+//! per-circuit experiment runner (from the `minobswin` crate), table
+//! formatting and summary statistics.
+//!
+//! Run the headline experiment with:
+//!
+//! ```text
+//! cargo run -p minobswin-bench --release --bin table1 -- --scale 16
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod table1;
+
+pub use table1::{run_table1, summarize, format_table, Table1Options, Table1Row, Table1Summary};

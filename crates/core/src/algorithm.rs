@@ -1,0 +1,523 @@
+//! **Algorithm 1 — MinObsWin**: minimum register-observability retiming
+//! under error-latching-window constraints.
+//!
+//! Starting from a feasible retiming, the solver repeatedly takes the
+//! tentative move `r′(v) = r(v) − w(v)` for every vertex `v` of `I` —
+//! the maximum-gain closed set under the active constraints, the exact
+//! set the paper's weighted regular forest maintains as `V_P(F)` (see
+//! [`crate::closure`] for why the selection is computed exactly here) —
+//! checks the constraints under `r′`, and either
+//!
+//! * records one new *active constraint* `(p, q)` and raises `q`'s
+//!   move weight (the paper's `UpdateForest`/`BreakTree` step), or
+//! * freezes the responsible vertex when the only fix would retime the
+//!   host (registers cannot move past primary inputs/outputs — the
+//!   paper's "exited immediately" cases), or
+//! * commits `r ← r′` when no violation remains.
+//!
+//! It terminates when no positive-gain closed set remains. Disabling
+//! the P2 machinery (the paper's "commenting out lines 9–12 and
+//! 19–21") yields the *Efficient MinObs* baseline of ref \[17\] — see
+//! [`crate::minobs`].
+
+use retime::{RetimeGraph, Retiming, VertexId};
+
+use crate::closure::ConstraintSystem;
+use crate::problem::Problem;
+use crate::verify::{check_feasible, find_violation, Violation};
+use crate::SolveError;
+
+/// Solver knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Enforce the P2 (ELW / shortest-path) constraints. `false`
+    /// reproduces the *Efficient MinObs* baseline.
+    pub enable_p2: bool,
+    /// Iteration safety cap; `None` uses `8·|V|² + 10⁴` (the paper
+    /// bounds iterations by `|V|²`).
+    pub max_iterations: Option<usize>,
+    /// Alternate descent passes with the symmetric *ascent* pass
+    /// (registers moved backward). The paper's schedule is
+    /// decrease-only, which we found suboptimal on instances whose
+    /// optimum moves registers backward from the §V initialization
+    /// (see DESIGN.md); the default `true` restores the optimality the
+    /// paper's Theorem 2 claims. Set `false` for the paper-literal
+    /// schedule.
+    pub bidirectional: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            enable_p2: true,
+            max_iterations: None,
+            bidirectional: true,
+        }
+    }
+}
+
+/// Counters describing a solver run (the paper reports `#J`, the
+/// number of committed improvement rounds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Committed improvement rounds (`#J` in Table I).
+    pub commits: usize,
+    /// Total loop iterations.
+    pub iterations: usize,
+    /// Active constraints recorded (forest updates).
+    pub constraints_added: usize,
+    /// `BreakTree` invocations (weight corrections).
+    pub weight_updates: usize,
+    /// Vertices frozen because their fix would retime the host.
+    pub freezes: usize,
+    /// Violations whose paper-designated blame vertex was not in the
+    /// move set, attributed to the move collectively instead.
+    pub fallback_attributions: usize,
+    /// P0 violations repaired.
+    pub p0_fixes: usize,
+    /// P1 violations repaired.
+    pub p1_fixes: usize,
+    /// P2 violations repaired (the MinObsWin-specific machinery).
+    pub p2_fixes: usize,
+}
+
+/// The result of a solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The final (feasible, locally unimprovable) retiming.
+    pub retiming: Retiming,
+    /// Objective gain `B̂(r_final) − B̂(r_initial)` (scaled register
+    /// observability reduction).
+    pub objective_gain: i64,
+    /// Run counters.
+    pub stats: SolverStats,
+}
+
+/// Runs MinObsWin (or, with `enable_p2 = false`, Efficient MinObs).
+///
+/// # Errors
+///
+/// * [`SolveError::InfeasibleInitial`] if `initial` violates the
+///   instance (P2 violations are ignored here when `enable_p2` is
+///   off).
+/// * [`SolveError::IterationLimit`] if the safety cap is hit (would
+///   indicate a bug; the cap is far above the paper's `|V|²` bound).
+pub fn solve(
+    graph: &RetimeGraph,
+    problem: &Problem,
+    initial: Retiming,
+    config: SolverConfig,
+) -> Result<Solution, SolveError> {
+    let effective_problem = if config.enable_p2 {
+        problem.clone()
+    } else {
+        Problem {
+            r_min: i64::MIN / 4, // never binds
+            ..problem.clone()
+        }
+    };
+    let problem = &effective_problem;
+    if let Err(v) = check_feasible(graph, problem, &initial) {
+        return Err(SolveError::InfeasibleInitial(format!("{v:?}")));
+    }
+
+    let start_objective = problem.objective(&initial);
+    let mut r = initial;
+    let mut stats = SolverStats::default();
+    // The paper's schedule is the single descent phase. With
+    // `bidirectional`, alternate descent and ascent until neither
+    // commits (each committing phase strictly improves the bounded
+    // objective, so this terminates).
+    loop {
+        let before = stats.commits;
+        r = run_phase(graph, problem, r, config, Direction::Decrease, &mut stats)?;
+        if config.bidirectional {
+            r = run_phase(graph, problem, r, config, Direction::Increase, &mut stats)?;
+        }
+        if stats.commits == before {
+            break;
+        }
+    }
+
+    debug_assert!(check_feasible(graph, problem, &r).is_ok());
+    Ok(Solution {
+        objective_gain: problem.objective(&r) - start_objective,
+        retiming: r,
+        stats,
+    })
+}
+
+/// Which way registers move in the current phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// The paper's direction: `r(v)` decreases (registers move from
+    /// fanins to fanouts).
+    Decrease,
+    /// The symmetric pass: `r(v)` increases.
+    Increase,
+}
+
+fn run_phase(
+    graph: &RetimeGraph,
+    problem: &Problem,
+    mut r: Retiming,
+    config: SolverConfig,
+    direction: Direction,
+    stats: &mut SolverStats,
+) -> Result<Retiming, SolveError> {
+    let sign = match direction {
+        Direction::Decrease => -1i64,
+        Direction::Increase => 1,
+    };
+    // A phase's gains: decreasing r(v) by w gains b(v)·w; increasing
+    // gains −b(v)·w.
+    let gains: Vec<i64> = problem.b.iter().map(|&b| -sign * b).collect();
+    let mut system = ConstraintSystem::new(gains);
+    freeze_dead_vertices(graph, &mut system);
+
+    let cap = config
+        .max_iterations
+        .unwrap_or(8 * graph.num_vertices() * graph.num_vertices() + 10_000);
+    let mut local_iterations = 0usize;
+    loop {
+        stats.iterations += 1;
+        local_iterations += 1;
+        if local_iterations > cap {
+            return Err(SolveError::IterationLimit(local_iterations));
+        }
+        let move_set = system.max_gain_closed_set();
+        if move_set.is_empty() {
+            break;
+        }
+        let mut r_tent = r.clone();
+        for &v in &move_set {
+            r_tent.add(v, sign * system.weight(v));
+        }
+        match find_violation(graph, problem, &r_tent) {
+            None => {
+                debug_assert!(
+                    problem.objective(&r_tent) > problem.objective(&r),
+                    "commits must strictly improve the objective"
+                );
+                r = r_tent;
+                stats.commits += 1;
+            }
+            Some(violation) => {
+                match violation {
+                    Violation::P0 { .. } => stats.p0_fixes += 1,
+                    Violation::P1(_) => stats.p1_fixes += 1,
+                    Violation::P2(_) => stats.p2_fixes += 1,
+                }
+                let request = attribute(
+                    graph, &system, &move_set, &r_tent, &violation, direction, stats,
+                );
+                if std::env::var_os("MINOBSWIN_TRACE").is_some() {
+                    eprintln!(
+                        "iter {} {direction:?} |I|={} viol {:?} -> {:?} [arcs={}]",
+                        stats.iterations,
+                        move_set.len(),
+                        violation,
+                        request,
+                        system.num_arcs(),
+                    );
+                }
+                apply_request(graph, &mut system, request, stats);
+            }
+        }
+    }
+    Ok(r)
+}
+
+/// `(p, q, total_weight)` derived from a violation, or a freeze of `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Request {
+    Link { p: VertexId, q: VertexId, weight: i64 },
+    Freeze(VertexId),
+}
+
+fn apply_request(
+    graph: &RetimeGraph,
+    system: &mut ConstraintSystem,
+    request: Request,
+    stats: &mut SolverStats,
+) {
+    match request {
+        Request::Freeze(p) => {
+            system.freeze(p);
+            stats.freezes += 1;
+        }
+        Request::Link { p, q, weight } => {
+            // Moving more registers over one vertex than the circuit
+            // contains can never be required by a satisfiable fix.
+            let weight_cap = graph.total_registers() as i64 + graph.num_vertices() as i64;
+            if weight > weight_cap {
+                system.freeze(q);
+                stats.freezes += 1;
+                return;
+            }
+            let raised = system.raise_weight(q, weight);
+            let added = system.add_arc(p, q);
+            if raised {
+                stats.weight_updates += 1;
+            }
+            if added {
+                stats.constraints_added += 1;
+            }
+            if !raised && !added {
+                // No change: the violation would recur forever; freeze
+                // the responsible vertex to guarantee progress. (Per the
+                // closure semantics this indicates p == q or an
+                // attribution fallback; both are rare and conservative.)
+                system.freeze(p);
+                stats.freezes += 1;
+            }
+        }
+    }
+}
+
+/// Derives the active-constraint request for a violation found under
+/// the tentative move.
+fn attribute(
+    graph: &RetimeGraph,
+    system: &ConstraintSystem,
+    move_set: &[VertexId],
+    r_tent: &Retiming,
+    violation: &Violation,
+    direction: Direction,
+    stats: &mut SolverStats,
+) -> Request {
+    let in_move = |v: VertexId| move_set.contains(&v);
+    let planned = |v: VertexId| if in_move(v) { system.weight(v) } else { 0 };
+    let pick_p = |candidates: &[VertexId], stats: &mut SolverStats| -> VertexId {
+        for &c in candidates {
+            if in_move(c) {
+                return c;
+            }
+        }
+        stats.fallback_attributions += 1;
+        move_set[0]
+    };
+    match *violation {
+        Violation::P0 { edge, weight } => {
+            let e = graph.edge(edge);
+            // Decrease phase: only the head's decrease can drain the
+            // edge, and the tail must follow. Increase phase: the tail's
+            // increase drains it, and the head must follow.
+            let (cause, q) = match direction {
+                Direction::Decrease => (e.to, e.from),
+                Direction::Increase => (e.from, e.to),
+            };
+            let p = pick_p(&[cause], stats);
+            if q.is_host() {
+                return Request::Freeze(p);
+            }
+            Request::Link {
+                p,
+                q,
+                weight: planned(q) - weight, // weight < 0: deficit
+            }
+        }
+        Violation::P1(v) => {
+            // Decrease phase: move a register out of the path *head* to
+            // cut the critical longest path at its start (Fig. 2(b)).
+            // Increase phase: pull a register into the path *end*
+            // (lt(v), which owns the terminating register/PO window) to
+            // cut it at its end.
+            let q = match direction {
+                Direction::Decrease => v.vertex,
+                Direction::Increase => v.lt,
+            };
+            let p = pick_p(&[v.lt, v.vertex], stats);
+            if q.is_host() || q == p {
+                return Request::Freeze(p);
+            }
+            Request::Link {
+                p,
+                q,
+                weight: planned(q) + 1,
+            }
+        }
+        Violation::P2(v) => {
+            let t = graph.edge(v.edge).from;
+            match direction {
+                Direction::Decrease => {
+                    // Extend the critical shortest path beyond its
+                    // terminating register: move all registers off one
+                    // registered out-edge (z, y) of z = rt(u)
+                    // (Fig. 2(c)).
+                    let z = v.rt;
+                    let y_edge = graph.out_edges(z).iter().copied().find(|&e| {
+                        let edge = graph.edge(e);
+                        !edge.to.is_host() && graph.retimed_weight(e, r_tent) > 0
+                    });
+                    let p = pick_p(&[v.vertex, t, z], stats);
+                    match y_edge {
+                        None => {
+                            // z's window comes from a primary output: no
+                            // register can move past the host.
+                            Request::Freeze(p)
+                        }
+                        Some(e) => {
+                            let y = graph.edge(e).to;
+                            let deficit = graph.retimed_weight(e, r_tent);
+                            Request::Link {
+                                p,
+                                q: y,
+                                weight: planned(y) + deficit,
+                            }
+                        }
+                    }
+                }
+                Direction::Increase => {
+                    // Extend the path at its start instead: pull the
+                    // launching register on (t, u) further back by
+                    // increasing the tail t (clearing the edge).
+                    let p = pick_p(&[v.vertex, t, v.rt], stats);
+                    if t.is_host() {
+                        return Request::Freeze(p);
+                    }
+                    let deficit = graph.retimed_weight(v.edge, r_tent);
+                    Request::Link {
+                        p,
+                        q: t,
+                        weight: planned(t) + deficit.max(1),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Freezes every vertex that cannot reach the host (dead logic): its
+/// registers never reach an observation point, and unconstrained
+/// decreases there would otherwise grow without bound.
+fn freeze_dead_vertices(graph: &RetimeGraph, system: &mut ConstraintSystem) {
+    let n = graph.num_vertices();
+    let mut reaches = vec![false; n];
+    reaches[RetimeGraph::HOST.index()] = true;
+    let mut stack = vec![RetimeGraph::HOST];
+    while let Some(v) = stack.pop() {
+        for &e in graph.in_edges(v) {
+            let from = graph.edge(e).from;
+            if !reaches[from.index()] {
+                reaches[from.index()] = true;
+                stack.push(from);
+            }
+        }
+    }
+    for v in graph.vertices() {
+        if !reaches[v.index()] {
+            system.freeze(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{samples, DelayModel};
+    use retime::ElwParams;
+
+    fn uniform_problem(g: &RetimeGraph, phi: i64, r_min: i64) -> Problem {
+        let counts = vec![1i64; g.num_vertices()];
+        Problem::from_observability_counts(g, &counts, ElwParams::with_phi(phi), r_min)
+    }
+
+    #[test]
+    fn solves_pipeline_without_constraints_binding() {
+        let c = samples::pipeline(9, 3);
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let p = uniform_problem(&g, 20, 1);
+        let sol = solve(&g, &p, Retiming::zero(&g), SolverConfig::default()).unwrap();
+        assert!(sol.objective_gain >= 0);
+        assert!(check_feasible(&g, &p, &sol.retiming).is_ok());
+    }
+
+    #[test]
+    fn infeasible_initial_rejected() {
+        let c = samples::pipeline(9, 3);
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let p = uniform_problem(&g, 2, 1); // phi too tight for r = 0
+        let err = solve(&g, &p, Retiming::zero(&g), SolverConfig::default()).unwrap_err();
+        assert!(matches!(err, SolveError::InfeasibleInitial(_)));
+    }
+
+    #[test]
+    fn p2_constraints_limit_gains() {
+        // Same instance, with and without P2: P2 can only reduce the
+        // achievable gain. R_min is chosen as §V does — the minimum
+        // short path of the starting retiming — so the start is
+        // feasible but further shrinkage is forbidden.
+        let c = samples::s27_like();
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let phi = 8;
+        let r0 = Retiming::zero(&g);
+        let labels = retime::LrLabels::compute(&g, &r0, ElwParams::with_phi(phi)).unwrap();
+        let r_min = labels.min_short_path(&g, &r0).unwrap();
+        let with_p2 = solve(
+            &g,
+            &uniform_problem(&g, phi, r_min),
+            r0.clone(),
+            SolverConfig::default(),
+        )
+        .unwrap();
+        let without = solve(
+            &g,
+            &uniform_problem(&g, phi, r_min),
+            r0,
+            SolverConfig { enable_p2: false, ..SolverConfig::default() },
+        )
+        .unwrap();
+        assert!(with_p2.objective_gain <= without.objective_gain);
+        // The P2-constrained result satisfies the full constraint set.
+        assert!(check_feasible(&g, &uniform_problem(&g, phi, r_min), &with_p2.retiming).is_ok());
+    }
+
+    #[test]
+    fn final_retiming_has_no_positive_move() {
+        // Local optimality: after termination, no single positive-gain
+        // vertex can decrease by one feasibly.
+        let c = samples::s27_like();
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let p = uniform_problem(&g, 8, 1);
+        let sol = solve(&g, &p, Retiming::zero(&g), SolverConfig::default()).unwrap();
+        for v in p.positive_gain_vertices() {
+            let mut r = sol.retiming.clone();
+            r.add(v, -1);
+            assert!(
+                check_feasible(&g, &p, &r).is_err(),
+                "single decrease of {v} still feasible: not even 1-locally optimal"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let c = samples::s27_like();
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let r0 = Retiming::zero(&g);
+        let labels = retime::LrLabels::compute(&g, &r0, ElwParams::with_phi(8)).unwrap();
+        let r_min = labels.min_short_path(&g, &r0).unwrap();
+        let p = uniform_problem(&g, 8, r_min);
+        let sol = solve(&g, &p, r0, SolverConfig::default()).unwrap();
+        assert!(sol.stats.iterations >= sol.stats.commits);
+        assert!(sol.stats.iterations >= sol.stats.constraints_added);
+    }
+
+    #[test]
+    fn generated_circuits_solve_and_stay_feasible() {
+        for seed in 0..5 {
+            let c = netlist::generator::GeneratorConfig::new("alg", seed)
+                .gates(80)
+                .registers(16)
+                .build();
+            let g = RetimeGraph::from_circuit(&c, &DelayModel::default()).unwrap();
+            let phi = retime::timing::clock_period(&g, &Retiming::zero(&g)).unwrap();
+            let p = uniform_problem(&g, phi, 1);
+            let sol = solve(&g, &p, Retiming::zero(&g), SolverConfig::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(check_feasible(&g, &p, &sol.retiming).is_ok(), "seed {seed}");
+            assert!(sol.objective_gain >= 0, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! §V initialization: choosing `Φ`, `R_min` and a feasible starting
+//! retiming.
+//!
+//! The paper's recipe:
+//!
+//! 1. Retime for minimum period under **setup and hold** constraints
+//!    (`\[23\]`), giving `Φ_sh`. If no such retiming exists (reconvergent
+//!    paths), fall back to plain min-period retiming (`\[24\]`) for
+//!    `Φ_min`.
+//! 2. Relax the (very tight) period by a small factor `ε` (10%).
+//! 3. Choose `R_min` as the minimum register-launched short path in the
+//!    retimed circuit; in the fallback case, the minimum gate delay.
+
+use retime::labels::ElwParams;
+use retime::{minperiod, setup_hold, LrLabels, RetimeGraph, Retiming};
+
+use crate::SolveError;
+
+/// The initialization outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitResult {
+    /// The relaxed clock period `Φ`.
+    pub phi: i64,
+    /// The ELW lower bound `R_min`.
+    pub r_min: i64,
+    /// A feasible starting retiming at `Φ`/`R_min`.
+    pub retiming: Retiming,
+    /// Whether the setup-and-hold retiming succeeded (`false` = the
+    /// paper's fallback path was taken).
+    pub used_setup_hold: bool,
+    /// The unrelaxed minimum period found.
+    pub phi_min: i64,
+}
+
+/// Initialization knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InitConfig {
+    /// Register setup time `T_s` (paper: 0).
+    pub t_setup: i64,
+    /// Register hold time `T_h` (paper: 2).
+    pub t_hold: i64,
+    /// Period relaxation in percent (paper: 10).
+    pub epsilon_percent: u32,
+}
+
+impl Default for InitConfig {
+    fn default() -> Self {
+        Self {
+            t_setup: 0,
+            t_hold: 2,
+            epsilon_percent: 10,
+        }
+    }
+}
+
+/// Runs the §V initialization.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Initialization`] if even plain min-period
+/// retiming fails (impossible for graphs built from valid circuits).
+pub fn initialize(graph: &RetimeGraph, config: InitConfig) -> Result<InitResult, SolveError> {
+    let relax = |phi: i64| phi + (phi * config.epsilon_percent as i64 + 99) / 100;
+
+    if let Some(sh) = setup_hold::min_period_setup_hold(graph, config.t_setup, config.t_hold) {
+        let phi = relax(sh.phi);
+        // Re-derive the retiming at the relaxed period for slack.
+        let retiming = setup_hold::feasible_setup_hold(graph, phi, config.t_setup, config.t_hold)
+            .unwrap_or(sh.retiming);
+        let params = ElwParams {
+            phi,
+            t_setup: config.t_setup,
+            t_hold: config.t_hold,
+        };
+        let labels = LrLabels::compute(graph, &retiming, params)
+            .map_err(|e| SolveError::Initialization(e.to_string()))?;
+        let r_min = labels
+            .min_short_path(graph, &retiming)
+            .unwrap_or_else(|| min_gate_delay(graph));
+        return Ok(InitResult {
+            phi,
+            r_min,
+            retiming,
+            used_setup_hold: true,
+            phi_min: sh.phi,
+        });
+    }
+
+    // Fallback: plain min-period retiming; R_min = minimum gate delay
+    // (P2 then never binds beyond what any single gate provides).
+    let mp = minperiod::min_period(graph).map_err(|e| SolveError::Initialization(e.to_string()))?;
+    let phi = relax(mp.phi);
+    let retiming = minperiod::feasible_retiming(graph, phi - config.t_setup)
+        .unwrap_or(mp.retiming);
+    Ok(InitResult {
+        phi,
+        r_min: min_gate_delay(graph),
+        retiming,
+        used_setup_hold: false,
+        phi_min: mp.phi,
+    })
+}
+
+fn min_gate_delay(graph: &RetimeGraph) -> i64 {
+    graph
+        .vertices()
+        .map(|v| graph.delay(v))
+        .filter(|&d| d > 0)
+        .min()
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+    use crate::verify::check_feasible;
+    use netlist::{samples, DelayModel};
+
+    #[test]
+    fn initialization_is_feasible_for_the_solver() {
+        for (name, c) in [
+            ("pipeline", samples::pipeline(9, 3)),
+            ("s27", samples::s27_like()),
+        ] {
+            let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+            let init = initialize(&g, InitConfig::default()).unwrap();
+            let params = ElwParams {
+                phi: init.phi,
+                t_setup: 0,
+                t_hold: 2,
+            };
+            let counts = vec![1i64; g.num_vertices()];
+            let p = Problem::from_observability_counts(&g, &counts, params, init.r_min);
+            assert!(
+                check_feasible(&g, &p, &init.retiming).is_ok(),
+                "{name}: initialization must satisfy its own constraints"
+            );
+        }
+    }
+
+    #[test]
+    fn relaxation_adds_ten_percent() {
+        let c = samples::pipeline(9, 3);
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let init = initialize(&g, InitConfig::default()).unwrap();
+        assert!(init.phi > init.phi_min);
+        assert!(init.phi <= init.phi_min + init.phi_min / 10 + 1);
+    }
+
+    #[test]
+    fn fallback_uses_min_gate_delay() {
+        // Force the fallback with an impossible hold time.
+        let c = samples::pipeline(4, 4);
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let init = initialize(
+            &g,
+            InitConfig {
+                t_hold: 100,
+                ..InitConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!init.used_setup_hold);
+        assert_eq!(init.r_min, 1, "minimum unit gate delay");
+    }
+
+    #[test]
+    fn generated_circuits_initialize() {
+        for seed in 0..4 {
+            let c = netlist::generator::GeneratorConfig::new("init", seed)
+                .gates(100)
+                .registers(20)
+                .build();
+            let g = RetimeGraph::from_circuit(&c, &DelayModel::default()).unwrap();
+            let init = initialize(&g, InitConfig::default()).unwrap();
+            assert!(g.check_nonnegative(&init.retiming).is_ok(), "seed {seed}");
+            assert!(init.r_min >= 1, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! # minobswin — retiming for soft error minimization under
+//! error-latching window constraints
+//!
+//! A from-scratch Rust reproduction of **Lu & Zhou, DATE 2013**. The
+//! paper formulates *Problem 1* — minimize the total observability of a
+//! sequential circuit's registers (the logic-masking share of its soft
+//! error rate) by retiming, subject to error-latching-window (ELW)
+//! constraints that stop the retiming from degrading timing masking —
+//! and solves it with an incremental algorithm over a **weighted
+//! regular forest**.
+//!
+//! This crate provides:
+//!
+//! * [`Problem`]: the instance (gain coefficients `b(v)` from
+//!   observability counts, clocking parameters, `R_min`),
+//! * [`forest::WeightedRegularForest`]: the paper's §IV data structure,
+//! * [`algorithm::solve`]: **Algorithm 1 (MinObsWin)**,
+//! * [`minobs::min_obs`]: the *Efficient MinObs* baseline of ref \[17\]
+//!   (Algorithm 1 with the P2 machinery disabled),
+//! * [`init::initialize`]: the §V choice of `Φ`, `R_min` and the
+//!   starting retiming,
+//! * [`experiment::run_circuit`]: the end-to-end driver producing a
+//!   Table-I row (SER before/after both methods, Δ#FF, timings, `#J`).
+//!
+//! # Examples
+//!
+//! ```
+//! use minobswin::experiment::{run_circuit, RunConfig};
+//! use netlist::samples;
+//! # fn main() -> Result<(), minobswin::SolveError> {
+//! let circuit = samples::s27_like();
+//! let run = run_circuit(&circuit, &RunConfig::small())?;
+//! println!(
+//!     "SER {:.3e} -> MinObs {:.3e} / MinObsWin {:.3e}",
+//!     run.ser_original, run.minobs.ser, run.minobswin.ser
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algorithm;
+pub mod closure;
+pub mod experiment;
+pub mod forest;
+pub mod init;
+pub mod minobs;
+mod problem;
+pub mod verify;
+
+pub use problem::Problem;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the MinObsWin solver pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The provided starting retiming violates the instance.
+    InfeasibleInitial(String),
+    /// The iteration safety cap was hit (indicates a bug: the cap is
+    /// far above the paper's `|V|²` bound).
+    IterationLimit(usize),
+    /// §V initialization failed.
+    Initialization(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InfeasibleInitial(why) => {
+                write!(f, "initial retiming is infeasible: {why}")
+            }
+            SolveError::IterationLimit(n) => {
+                write!(f, "iteration safety cap hit after {n} iterations")
+            }
+            SolveError::Initialization(why) => write!(f, "initialization failed: {why}"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SolveError::IterationLimit(42);
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveError>();
+    }
+}

@@ -1,0 +1,96 @@
+//! The **Efficient MinObs** baseline: the logic-masking-only retiming
+//! of Krishnaswamy et al. (DAC'09, ref \[17\]), solved with the paper's
+//! own efficient machinery rather than an LP — exactly what the paper
+//! does for its comparison column ("by simply commenting out lines
+//! 9–12 and 19–21 in Algorithm 1, we can reduce the proposed algorithm
+//! into an efficient MinObs algorithm").
+
+use retime::{RetimeGraph, Retiming};
+
+use crate::algorithm::{solve, Solution, SolverConfig};
+use crate::problem::Problem;
+use crate::SolveError;
+
+/// Runs the Efficient MinObs baseline (P0 ∧ P1 only; no ELW
+/// constraints).
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn min_obs(
+    graph: &RetimeGraph,
+    problem: &Problem,
+    initial: Retiming,
+) -> Result<Solution, SolveError> {
+    solve(
+        graph,
+        problem,
+        initial,
+        SolverConfig {
+            enable_p2: false,
+            ..SolverConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{samples, DelayModel};
+    use retime::{minarea_ref, ElwParams, VertexId};
+
+    /// MinObs with uniform observabilities is min-area retiming; the
+    /// forest algorithm must match the exact flow-based optimum.
+    #[test]
+    fn matches_exact_min_area_on_samples() {
+        for (name, c) in [
+            ("two_stage_loop", samples::two_stage_loop()),
+            ("pipeline", samples::pipeline(9, 3)),
+            ("s27", samples::s27_like()),
+        ] {
+            let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+            let phi = retime::timing::clock_period(&g, &Retiming::zero(&g)).unwrap();
+            let counts = vec![1i64; g.num_vertices()];
+            let p = Problem::from_observability_counts(&g, &counts, ElwParams::with_phi(phi), 1);
+            let sol = min_obs(&g, &p, Retiming::zero(&g)).unwrap();
+            // Exact reference: min Σ b·r s.t. P0 + P1(phi − ts).
+            let exact = minarea_ref::solve_exact(&g, &p.b, Some(phi - p.params.t_setup)).unwrap();
+            let forest_obj: i64 = (1..g.num_vertices())
+                .map(|v| p.b[v] * sol.retiming.get(VertexId::new(v)))
+                .sum();
+            assert_eq!(
+                forest_obj, exact.objective,
+                "{name}: forest {} vs exact {}",
+                forest_obj, exact.objective
+            );
+        }
+    }
+
+    /// With simulated observability counts (non-uniform b), the forest
+    /// algorithm must still match the exact LP optimum.
+    #[test]
+    fn matches_exact_with_random_costs() {
+        use netlist::rng::Xoshiro256;
+        for seed in 0..6 {
+            let c = netlist::generator::GeneratorConfig::new("mo", seed)
+                .gates(40)
+                .registers(10)
+                .inputs(3)
+                .outputs(3)
+                .build();
+            let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+            let phi = retime::timing::clock_period(&g, &Retiming::zero(&g)).unwrap() + 1;
+            let mut rng = Xoshiro256::seed_from_u64(seed + 99);
+            let counts: Vec<i64> = (0..g.num_vertices())
+                .map(|i| if i == 0 { 64 } else { rng.gen_range(65) as i64 })
+                .collect();
+            let p = Problem::from_observability_counts(&g, &counts, ElwParams::with_phi(phi), 1);
+            let sol = min_obs(&g, &p, Retiming::zero(&g)).unwrap();
+            let exact = minarea_ref::solve_exact(&g, &p.b, Some(phi)).unwrap();
+            let forest_obj: i64 = (1..g.num_vertices())
+                .map(|v| p.b[v] * sol.retiming.get(VertexId::new(v)))
+                .sum();
+            assert_eq!(forest_obj, exact.objective, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Reader and writer for the ISCAS89 `.bench` netlist format.
+//!
+//! This is the format the paper's benchmark circuits (s13207, b17, …)
+//! ship in. The grammar is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = DFF(G14)
+//! G14 = NAND(G0, G11)
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use crate::circuit::{Circuit, CircuitBuilder};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Parses a circuit from `.bench` text.
+///
+/// `name` becomes the circuit name (the format itself is anonymous).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number on syntax errors,
+/// and the usual structural errors (unknown signal, combinational
+/// cycle, …) from [`CircuitBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let src = "\
+/// INPUT(a)
+/// OUTPUT(y)
+/// q = DFF(x)
+/// x = NAND(a, q)
+/// y = NOT(q)
+/// ";
+/// let c = netlist::bench_format::parse(src, "tiny")?;
+/// assert_eq!(c.num_registers(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
+    let mut builder = CircuitBuilder::new(name);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(stripped, "INPUT") {
+            let signal = parse_parenthesized(rest, line)?;
+            builder
+                .gate(signal, GateKind::Input, &[])
+                .map_err(|e| at_line(e, line))?;
+        } else if let Some(rest) = strip_directive(stripped, "OUTPUT") {
+            let signal = parse_parenthesized(rest, line)?;
+            builder.output(signal).map_err(|e| at_line(e, line))?;
+        } else if let Some(eq) = stripped.find('=') {
+            let target = stripped[..eq].trim();
+            if target.is_empty() {
+                return Err(parse_err(line, "missing signal name before `=`"));
+            }
+            let rhs = stripped[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| parse_err(line, "expected `FUNC(args)` after `=`"))?;
+            let func = rhs[..open].trim();
+            let args_text = parse_parenthesized(&rhs[open..], line)?;
+            let args: Vec<&str> = args_text
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            let kind = GateKind::from_bench_name(func).map_err(|e| at_line(e, line))?;
+            if kind == GateKind::Dff {
+                if args.len() != 1 {
+                    return Err(parse_err(line, "DFF takes exactly one argument"));
+                }
+                builder.dff(target, args[0]).map_err(|e| at_line(e, line))?;
+            } else {
+                builder
+                    .gate(target, kind, &args)
+                    .map_err(|e| at_line(e, line))?;
+            }
+        } else {
+            return Err(parse_err(line, "unrecognized statement"));
+        }
+    }
+    builder.build()
+}
+
+/// Reads and parses a `.bench` file; the file stem becomes the circuit
+/// name.
+///
+/// # Errors
+///
+/// Propagates I/O errors and the errors of [`parse`].
+pub fn read_file(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    parse(&text, name)
+}
+
+/// Serializes a circuit to `.bench` text.
+///
+/// Constants have no `.bench` spelling, so they are emitted as
+/// fanin-less `AND`/`OR` pseudo-gates with a warning comment; circuits
+/// produced by this crate's generator contain no constants.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    for &pi in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.gate(pi).name()));
+    }
+    for &po in circuit.outputs() {
+        let observed = circuit.gate(po).fanins()[0];
+        out.push_str(&format!("OUTPUT({})\n", circuit.gate(observed).name()));
+    }
+    for (_, gate) in circuit.iter() {
+        match gate.kind() {
+            GateKind::Input | GateKind::Output => continue,
+            GateKind::Const0 | GateKind::Const1 => {
+                let func = if gate.kind() == GateKind::Const1 { "OR" } else { "AND" };
+                out.push_str(&format!(
+                    "{} = {}() # constant has no .bench spelling\n",
+                    gate.name(),
+                    func
+                ));
+            }
+            kind => {
+                let func = kind.bench_name().expect("named kind");
+                let args: Vec<&str> = gate
+                    .fanins()
+                    .iter()
+                    .map(|&f| circuit.gate(f).name())
+                    .collect();
+                out.push_str(&format!("{} = {}({})\n", gate.name(), func, args.join(", ")));
+            }
+        }
+    }
+    out
+}
+
+/// Writes a circuit to a `.bench` file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_file(circuit: &Circuit, path: impl AsRef<Path>) -> Result<(), NetlistError> {
+    fs::write(path, write(circuit))?;
+    Ok(())
+}
+
+fn strip_directive<'a>(line: &'a str, directive: &str) -> Option<&'a str> {
+    let head = line.get(..directive.len())?;
+    if head.eq_ignore_ascii_case(directive) {
+        let rest = &line[directive.len()..];
+        if rest.trim_start().starts_with('(') {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+fn parse_parenthesized<'a>(text: &'a str, line: usize) -> Result<&'a str, NetlistError> {
+    let text = text.trim();
+    let inner = text
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| parse_err(line, "expected `( ... )`"))?;
+    Ok(inner.trim())
+}
+
+fn parse_err(line: usize, message: &str) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+fn at_line(err: NetlistError, line: usize) -> NetlistError {
+    match err {
+        e @ NetlistError::Parse { .. } => e,
+        other => NetlistError::Parse {
+            line,
+            message: other.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "\
+# a miniature sequential circuit in the style of s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+";
+
+    #[test]
+    fn parses_s27_like() {
+        let c = parse(S27_LIKE, "s27ish").unwrap();
+        assert_eq!(c.inputs().len(), 4);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.num_registers(), 3);
+        assert_eq!(c.find("G9").map(|g| c.gate(g).kind()), Some(GateKind::Nand));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c1 = parse(S27_LIKE, "s27ish").unwrap();
+        let text = write(&c1);
+        let c2 = parse(&text, "s27ish").unwrap();
+        assert_eq!(c1.len(), c2.len());
+        assert_eq!(c1.num_registers(), c2.num_registers());
+        assert_eq!(c1.inputs().len(), c2.inputs().len());
+        assert_eq!(c1.outputs().len(), c2.outputs().len());
+        assert_eq!(c1.num_edges(), c2.num_edges());
+        // Gate-by-gate: same named gate has the same kind and fanin names.
+        for (_, g1) in c1.iter() {
+            if g1.kind() == GateKind::Output {
+                continue;
+            }
+            let id2 = c2.find(g1.name()).expect("gate survives round trip");
+            let g2 = c2.gate(id2);
+            assert_eq!(g1.kind(), g2.kind());
+            let n1: Vec<&str> = g1.fanins().iter().map(|&f| c1.gate(f).name()).collect();
+            let n2: Vec<&str> = g2.fanins().iter().map(|&f| c2.gate(f).name()).collect();
+            assert_eq!(n1, n2, "fanins of {}", g1.name());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let c = parse("# only a comment\n\nINPUT(a)\nOUTPUT(a)\n", "c").unwrap();
+        assert_eq!(c.inputs().len(), 1);
+    }
+
+    #[test]
+    fn inline_comment_stripped() {
+        let c = parse("INPUT(a) # the input\nOUTPUT(a)\n", "c").unwrap();
+        assert_eq!(c.inputs().len(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_functions() {
+        let c = parse("INPUT(a)\nx = nand(a, a)\nOUTPUT(x)\n", "c").unwrap();
+        assert_eq!(c.find("x").map(|g| c.gate(g).kind()), Some(GateKind::Nand));
+    }
+
+    #[test]
+    fn syntax_error_carries_line_number() {
+        let err = parse("INPUT(a)\nthis is nonsense\n", "c").unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_paren_is_error() {
+        assert!(parse("INPUT a\n", "c").is_err());
+        assert!(parse("x = AND(a, b\n", "c").is_err());
+    }
+
+    #[test]
+    fn dff_arity_enforced() {
+        let err = parse("INPUT(a)\nq = DFF(a, a)\n", "c").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_function_reports_line() {
+        let err = parse("INPUT(a)\nx = FROB(a)\n", "c").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("minobswin_bench_test.bench");
+        let c1 = parse(S27_LIKE, "s27ish").unwrap();
+        write_file(&c1, &path).unwrap();
+        let c2 = read_file(&path).unwrap();
+        assert_eq!(c2.name(), "minobswin_bench_test");
+        assert_eq!(c1.len(), c2.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn output_before_definition_is_fine() {
+        let c = parse("OUTPUT(x)\nINPUT(a)\nx = NOT(a)\n", "c").unwrap();
+        assert_eq!(c.outputs().len(), 1);
+    }
+}

@@ -1,0 +1,511 @@
+//! Reader and writer for a structural subset of the Berkeley BLIF
+//! format.
+//!
+//! Supported constructs: `.model`, `.inputs`, `.outputs`, `.names`
+//! (single-output covers that correspond to the gate library: constant,
+//! buffer, inverter, AND, OR, NAND, NOR, XOR, XNOR), `.latch`, `.end`,
+//! comments and `\` line continuation. Arbitrary sum-of-product covers
+//! that do not match a library gate are rejected with a clear error —
+//! this crate models circuits at the gate level, not as LUT networks.
+
+use std::fs;
+use std::path::Path;
+
+use crate::circuit::{Circuit, CircuitBuilder};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Parses a circuit from BLIF text.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on syntax errors or unsupported
+/// covers, plus the structural errors of
+/// [`CircuitBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let src = "\
+/// .model tiny
+/// .inputs a b
+/// .outputs y
+/// .latch x q 0
+/// .names a q x
+/// 11 1
+/// .names q b y
+/// 0- 1
+/// -0 1
+/// .end
+/// ";
+/// let c = netlist::blif::parse(src)?;
+/// assert_eq!(c.name(), "tiny");
+/// assert_eq!(c.num_registers(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    let mut name = String::from("blif");
+    let mut builder: Option<CircuitBuilder> = None;
+    let mut outputs: Vec<String> = Vec::new();
+
+    // Join continuation lines, remembering original line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let stripped = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let (body, continued) = match stripped.trim_end().strip_suffix('\\') {
+            Some(b) => (b.to_string(), true),
+            None => (stripped.to_string(), false),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&body);
+                if continued {
+                    pending = Some((start, acc));
+                } else {
+                    logical.push((start, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((line_no, body));
+                } else {
+                    logical.push((line_no, body));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical.push((start, acc));
+    }
+
+    let mut idx = 0;
+    while idx < logical.len() {
+        let (line, ref content) = logical[idx];
+        let tokens: Vec<&str> = content.split_whitespace().collect();
+        idx += 1;
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens[0] {
+            ".model" => {
+                if let Some(model_name) = tokens.get(1) {
+                    name = (*model_name).to_string();
+                }
+                if builder.is_none() {
+                    builder = Some(CircuitBuilder::new(name.clone()));
+                }
+            }
+            ".inputs" => {
+                let b = builder.get_or_insert_with(|| CircuitBuilder::new(name.clone()));
+                for t in &tokens[1..] {
+                    b.gate(t, GateKind::Input, &[])
+                        .map_err(|e| parse_err(line, &e.to_string()))?;
+                }
+            }
+            ".outputs" => {
+                outputs.extend(tokens[1..].iter().map(|s| s.to_string()));
+                builder.get_or_insert_with(|| CircuitBuilder::new(name.clone()));
+            }
+            ".latch" => {
+                let b = builder.get_or_insert_with(|| CircuitBuilder::new(name.clone()));
+                // .latch <input> <output> [<type> <control>] [<init>]
+                if tokens.len() < 3 {
+                    return Err(parse_err(line, ".latch needs input and output"));
+                }
+                b.dff(tokens[2], tokens[1])
+                    .map_err(|e| parse_err(line, &e.to_string()))?;
+            }
+            ".names" => {
+                let b = builder.get_or_insert_with(|| CircuitBuilder::new(name.clone()));
+                if tokens.len() < 2 {
+                    return Err(parse_err(line, ".names needs at least an output"));
+                }
+                let output = tokens[tokens.len() - 1];
+                let fanins: Vec<&str> = tokens[1..tokens.len() - 1].to_vec();
+                // Collect the cover rows that follow.
+                let mut rows: Vec<(String, char)> = Vec::new();
+                while idx < logical.len() {
+                    let (row_line, ref row) = logical[idx];
+                    let row = row.trim();
+                    if row.is_empty() {
+                        idx += 1;
+                        continue;
+                    }
+                    if row.starts_with('.') {
+                        break;
+                    }
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (pattern, value) = if fanins.is_empty() {
+                        if parts.len() != 1 {
+                            return Err(parse_err(row_line, "constant cover must be one token"));
+                        }
+                        (String::new(), parts[0])
+                    } else {
+                        if parts.len() != 2 {
+                            return Err(parse_err(row_line, "cover row must be `pattern value`"));
+                        }
+                        (parts[0].to_string(), parts[1])
+                    };
+                    let value = value
+                        .chars()
+                        .next()
+                        .filter(|c| *c == '0' || *c == '1')
+                        .ok_or_else(|| parse_err(row_line, "cover value must be 0 or 1"))?;
+                    if !fanins.is_empty() && pattern.len() != fanins.len() {
+                        return Err(parse_err(row_line, "pattern width must match fanin count"));
+                    }
+                    rows.push((pattern, value));
+                    idx += 1;
+                }
+                let kind = classify_cover(&fanins, &rows)
+                    .ok_or_else(|| parse_err(line, "cover does not match a library gate"))?;
+                match kind {
+                    CoverKind::Const(v) => {
+                        b.constant(output, v)
+                            .map_err(|e| parse_err(line, &e.to_string()))?;
+                    }
+                    CoverKind::Gate(kind) => {
+                        b.gate(output, kind, &fanins)
+                            .map_err(|e| parse_err(line, &e.to_string()))?;
+                    }
+                }
+            }
+            ".end" => break,
+            ".exdc" | ".clock" => {
+                // Ignored directives that take no following block we care
+                // about at the structural level.
+            }
+            other => {
+                return Err(parse_err(line, &format!("unsupported directive `{other}`")));
+            }
+        }
+    }
+
+    let mut b = builder.ok_or(NetlistError::EmptyCircuit)?;
+    for out in &outputs {
+        b.output(out)?;
+    }
+    b.build()
+}
+
+enum CoverKind {
+    Const(bool),
+    Gate(GateKind),
+}
+
+/// Matches a sum-of-products cover against the gate library.
+fn classify_cover(fanins: &[&str], rows: &[(String, char)]) -> Option<CoverKind> {
+    let n = fanins.len();
+    if n == 0 {
+        // Constant: "1" row means const1, empty or "0" means const0.
+        let is_one = rows.iter().any(|(_, v)| *v == '1');
+        return Some(CoverKind::Const(is_one));
+    }
+    if rows.is_empty() {
+        return Some(CoverKind::Const(false));
+    }
+    let all_ones_out = rows.iter().all(|(_, v)| *v == '1');
+    let all_zeros_out = rows.iter().all(|(_, v)| *v == '0');
+    if !(all_ones_out || all_zeros_out) {
+        return None;
+    }
+    let on_set = all_ones_out;
+
+    if n == 1 {
+        let (p, _) = &rows[0];
+        return match (rows.len(), p.as_str(), on_set) {
+            (1, "1", true) | (1, "0", false) => Some(CoverKind::Gate(GateKind::Buf)),
+            (1, "0", true) | (1, "1", false) => Some(CoverKind::Gate(GateKind::Not)),
+            _ => None,
+        };
+    }
+
+    // AND: single row of all '1' → 1. NAND: same row but output 0 rows
+    // describe the off-set of the complemented function, i.e. a single
+    // all-'1' row with value 0 means NAND.
+    if rows.len() == 1 && rows[0].0.chars().all(|c| c == '1') {
+        return Some(CoverKind::Gate(if on_set { GateKind::And } else { GateKind::Nand }));
+    }
+    // OR: n rows, row i has '1' at position i and '-' elsewhere.
+    if rows.len() == n && is_one_hot(rows, '1') {
+        return Some(CoverKind::Gate(if on_set { GateKind::Or } else { GateKind::Nor }));
+    }
+    // NOR via on-set: single row of all '0' → 1; AND-of-complements is
+    // NOR. Dually all-'0' with value 0 is OR... no: f=1 iff all inputs 0
+    // is NOR; f=0 iff all inputs 0 (i.e. off-set) means f = OR.
+    if rows.len() == 1 && rows[0].0.chars().all(|c| c == '0') {
+        return Some(CoverKind::Gate(if on_set { GateKind::Nor } else { GateKind::Or }));
+    }
+    // NAND via one-hot '0' rows: f=1 if any input is 0.
+    if rows.len() == n && is_one_hot(rows, '0') {
+        return Some(CoverKind::Gate(if on_set { GateKind::Nand } else { GateKind::And }));
+    }
+    // XOR/XNOR: 2^(n-1) fully-specified rows with odd (resp. even) parity.
+    if rows.len() == (1usize << (n - 1)) && rows.iter().all(|(p, _)| p.chars().all(|c| c == '0' || c == '1')) {
+        let parities: Vec<bool> = rows
+            .iter()
+            .map(|(p, _)| p.chars().filter(|&c| c == '1').count() % 2 == 1)
+            .collect();
+        if parities.iter().all(|&b| b) {
+            return Some(CoverKind::Gate(if on_set { GateKind::Xor } else { GateKind::Xnor }));
+        }
+        if parities.iter().all(|&b| !b) {
+            return Some(CoverKind::Gate(if on_set { GateKind::Xnor } else { GateKind::Xor }));
+        }
+    }
+    None
+}
+
+fn is_one_hot(rows: &[(String, char)], hot: char) -> bool {
+    let n = rows.len();
+    let mut seen = vec![false; n];
+    for (p, _) in rows {
+        let hots: Vec<usize> = p
+            .char_indices()
+            .filter(|&(_, c)| c == hot)
+            .map(|(i, _)| i)
+            .collect();
+        let dashes = p.chars().filter(|&c| c == '-').count();
+        if hots.len() != 1 || dashes != n - 1 {
+            return false;
+        }
+        if seen[hots[0]] {
+            return false;
+        }
+        seen[hots[0]] = true;
+    }
+    seen.iter().all(|&s| s)
+}
+
+/// Reads and parses a BLIF file.
+///
+/// # Errors
+///
+/// Propagates I/O errors and the errors of [`parse`].
+pub fn read_file(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
+    let text = fs::read_to_string(path)?;
+    parse(&text)
+}
+
+/// Serializes a circuit to BLIF text.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", circuit.name()));
+    let pis: Vec<&str> = circuit
+        .inputs()
+        .iter()
+        .map(|&g| circuit.gate(g).name())
+        .collect();
+    out.push_str(&format!(".inputs {}\n", pis.join(" ")));
+    let pos: Vec<&str> = circuit
+        .outputs()
+        .iter()
+        .map(|&g| circuit.gate(circuit.gate(g).fanins()[0]).name())
+        .collect();
+    out.push_str(&format!(".outputs {}\n", pos.join(" ")));
+    for &r in circuit.registers() {
+        let gate = circuit.gate(r);
+        let d = circuit.gate(gate.fanins()[0]).name();
+        out.push_str(&format!(".latch {} {} 0\n", d, gate.name()));
+    }
+    for (_, gate) in circuit.iter() {
+        let fanin_names: Vec<&str> = gate
+            .fanins()
+            .iter()
+            .map(|&f| circuit.gate(f).name())
+            .collect();
+        let n = fanin_names.len();
+        let header = |out: &mut String| {
+            out.push_str(&format!(".names {} {}\n", fanin_names.join(" "), gate.name()));
+        };
+        match gate.kind() {
+            GateKind::Input | GateKind::Output | GateKind::Dff => {}
+            GateKind::Const0 => {
+                out.push_str(&format!(".names {}\n0\n", gate.name()));
+            }
+            GateKind::Const1 => {
+                out.push_str(&format!(".names {}\n1\n", gate.name()));
+            }
+            GateKind::Buf => {
+                header(&mut out);
+                out.push_str("1 1\n");
+            }
+            GateKind::Not => {
+                header(&mut out);
+                out.push_str("0 1\n");
+            }
+            GateKind::And => {
+                header(&mut out);
+                out.push_str(&format!("{} 1\n", "1".repeat(n)));
+            }
+            GateKind::Nand => {
+                header(&mut out);
+                for i in 0..n {
+                    let mut row = vec!['-'; n];
+                    row[i] = '0';
+                    out.push_str(&format!("{} 1\n", row.iter().collect::<String>()));
+                }
+            }
+            GateKind::Or => {
+                header(&mut out);
+                for i in 0..n {
+                    let mut row = vec!['-'; n];
+                    row[i] = '1';
+                    out.push_str(&format!("{} 1\n", row.iter().collect::<String>()));
+                }
+            }
+            GateKind::Nor => {
+                header(&mut out);
+                out.push_str(&format!("{} 1\n", "0".repeat(n)));
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                header(&mut out);
+                let want_odd = gate.kind() == GateKind::Xor;
+                for bits in 0u32..(1 << n) {
+                    let ones = bits.count_ones() as usize;
+                    if (ones % 2 == 1) == want_odd {
+                        let row: String = (0..n)
+                            .map(|i| if bits >> i & 1 == 1 { '1' } else { '0' })
+                            .collect();
+                        out.push_str(&format!("{row} 1\n"));
+                    }
+                }
+            }
+            GateKind::Mux => {
+                // sel a b: out = sel ? b : a
+                header(&mut out);
+                out.push_str("01- 1\n1-1 1\n");
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Writes a circuit to a BLIF file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_file(circuit: &Circuit, path: impl AsRef<Path>) -> Result<(), NetlistError> {
+    fs::write(path, write(circuit))?;
+    Ok(())
+}
+
+fn parse_err(line: usize, message: &str) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "\
+.model tiny
+.inputs a b
+.outputs y z
+.latch x q re clk 0
+.names a q x
+11 1
+.names q b y
+0- 1
+-0 1
+.names a b z
+01 1
+10 1
+.end
+";
+
+    #[test]
+    fn parses_tiny() {
+        let c = parse(TINY).unwrap();
+        assert_eq!(c.name(), "tiny");
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.num_registers(), 1);
+        assert_eq!(c.find("x").map(|g| c.gate(g).kind()), Some(GateKind::And));
+        // y's cover is one-hot '0' rows => NAND
+        assert_eq!(c.find("y").map(|g| c.gate(g).kind()), Some(GateKind::Nand));
+        assert_eq!(c.find("z").map(|g| c.gate(g).kind()), Some(GateKind::Xor));
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        use crate::CircuitBuilder;
+        let mut b = CircuitBuilder::new("kinds");
+        b.input("a");
+        b.input("bb");
+        b.input("cc");
+        b.gate("g_and", GateKind::And, &["a", "bb", "cc"]).unwrap();
+        b.gate("g_nand", GateKind::Nand, &["a", "bb"]).unwrap();
+        b.gate("g_or", GateKind::Or, &["a", "bb"]).unwrap();
+        b.gate("g_nor", GateKind::Nor, &["a", "bb", "cc"]).unwrap();
+        b.gate("g_xor", GateKind::Xor, &["a", "bb"]).unwrap();
+        b.gate("g_xnor", GateKind::Xnor, &["a", "bb"]).unwrap();
+        b.gate("g_not", GateKind::Not, &["g_and"]).unwrap();
+        b.gate("g_buf", GateKind::Buf, &["g_or"]).unwrap();
+        b.constant("k1", true).unwrap();
+        b.constant("k0", false).unwrap();
+        b.dff("q", "g_xor").unwrap();
+        b.gate("mix", GateKind::And, &["q", "g_not", "g_buf", "k1", "k0", "g_nand", "g_nor", "g_xnor"])
+            .unwrap();
+        b.output("mix").unwrap();
+        let c1 = b.build().unwrap();
+        let text = write(&c1);
+        let c2 = parse(&text).unwrap();
+        for (_, g1) in c1.iter() {
+            if g1.kind() == GateKind::Output {
+                continue;
+            }
+            let g2 = c2.gate(c2.find(g1.name()).expect("gate survives"));
+            assert_eq!(g1.kind(), g2.kind(), "kind of {}", g1.name());
+        }
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let src = ".model c\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.inputs().len(), 2);
+    }
+
+    #[test]
+    fn unsupported_cover_rejected() {
+        // a AND-OR cover that is not a library gate: f = ab + c̄ (with 3 inputs)
+        let src = ".model c\n.inputs a b c\n.outputs y\n.names a b c y\n11- 1\n--0 1\n.end\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("library gate"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_directive_rejected() {
+        let err = parse(".model c\n.inputs a\n.outputs a\n.subckt foo a=a\n.end\n").unwrap_err();
+        assert!(err.to_string().contains("subckt"), "{err}");
+    }
+
+    #[test]
+    fn constant_covers() {
+        let src = ".model c\n.inputs a\n.outputs y\n.names one\n1\n.names a one y\n11 1\n.end\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.find("one").map(|g| c.gate(g).kind()), Some(GateKind::Const1));
+    }
+
+    #[test]
+    fn off_set_covers_give_complement_gates() {
+        // Single all-ones row with output 0: NAND.
+        let src = ".model c\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.find("y").map(|g| c.gate(g).kind()), Some(GateKind::Nand));
+    }
+}

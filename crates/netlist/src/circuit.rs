@@ -1,0 +1,560 @@
+//! The sequential circuit data structure and its builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateId, GateKind};
+
+/// A gate-level sequential circuit.
+///
+/// Gates are stored densely and identified by [`GateId`]. Registers
+/// ([`GateKind::Dff`]) separate the circuit into combinational frames;
+/// every structural cycle must pass through at least one register
+/// (enforced by [`CircuitBuilder::build`]).
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{CircuitBuilder, GateKind};
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new("toy");
+/// b.input("a");
+/// b.input("b");
+/// b.gate("x", GateKind::And, &["a", "b"])?;
+/// b.dff("q", "x")?;
+/// b.gate("y", GateKind::Or, &["q", "a"])?;
+/// b.output("y")?;
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.num_registers(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    gates: Vec<Gate>,
+    fanouts: Vec<Vec<GateId>>,
+    inputs: Vec<GateId>,
+    outputs: Vec<GateId>,
+    registers: Vec<GateId>,
+    /// Combinational evaluation order: every non-register gate appears
+    /// after all of its non-register fanins; register Q values are state.
+    topo: Vec<GateId>,
+}
+
+impl Circuit {
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of gates, including I/O markers and registers.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Access a gate by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Iterates over `(id, gate)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId::new(i), g))
+    }
+
+    /// The gates that read this gate's output.
+    pub fn fanouts(&self, id: GateId) -> &[GateId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Primary input gates, in declaration order.
+    pub fn inputs(&self) -> &[GateId] {
+        &self.inputs
+    }
+
+    /// Primary output marker gates, in declaration order.
+    pub fn outputs(&self) -> &[GateId] {
+        &self.outputs
+    }
+
+    /// Register (DFF) gates, in declaration order.
+    pub fn registers(&self) -> &[GateId] {
+        &self.registers
+    }
+
+    /// Number of registers (`#FF` in the paper's Table I).
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Number of combinational vertices (`|V|` in the paper: gates that
+    /// are not registers, including I/O markers).
+    pub fn num_combinational(&self) -> usize {
+        self.gates.len() - self.registers.len()
+    }
+
+    /// Combinational topological order: all non-register gates, each
+    /// after its non-register fanins. Registers are excluded; their Q
+    /// outputs act as state sources.
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// Finds a gate by its signal name (linear scan; intended for tests
+    /// and small lookups — build your own map for bulk work).
+    pub fn find(&self, name: &str) -> Option<GateId> {
+        self.gates
+            .iter()
+            .position(|g| g.name == name)
+            .map(GateId::new)
+    }
+
+    /// Number of signal edges between gates (each fanin reference is one
+    /// edge). This counts the structural netlist, not the retiming
+    /// graph's collapsed edges.
+    pub fn num_edges(&self) -> usize {
+        self.gates.iter().map(|g| g.fanins.len()).sum()
+    }
+
+    /// Replaces the circuit name, returning the old one.
+    pub fn set_name(&mut self, name: impl Into<String>) -> String {
+        std::mem::replace(&mut self.name, name.into())
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates ({} comb, {} FF), {} PIs, {} POs",
+            self.name,
+            self.len(),
+            self.num_combinational(),
+            self.num_registers(),
+            self.inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+/// Incrementally constructs a [`Circuit`], resolving signal names and
+/// validating structure at [`CircuitBuilder::build`] time.
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBuilder {
+    name: String,
+    gates: Vec<PendingGate>,
+    by_name: HashMap<String, usize>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingGate {
+    name: String,
+    kind: GateKind,
+    fanin_names: Vec<String>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            gates: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanins: Vec<String>,
+    ) -> Result<GateId, NetlistError> {
+        // OUTPUT markers get a synthetic name (`name%out`) so the marker
+        // doesn't collide with the signal it observes.
+        if kind != GateKind::Output && self.by_name.contains_key(name) {
+            return Err(NetlistError::DuplicateSignal(name.to_string()));
+        }
+        let stored_name = if kind == GateKind::Output {
+            format!("{name}%out")
+        } else {
+            name.to_string()
+        };
+        if self.by_name.contains_key(&stored_name) {
+            return Err(NetlistError::DuplicateSignal(stored_name));
+        }
+        let idx = self.gates.len();
+        self.by_name.insert(stored_name.clone(), idx);
+        self.gates.push(PendingGate {
+            name: stored_name,
+            kind,
+            fanin_names: fanins,
+        });
+        Ok(GateId::new(idx))
+    }
+
+    /// Declares a primary input signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name (inputs are typically declared first;
+    /// use [`CircuitBuilder::gate`] if you need a `Result`).
+    pub fn input(&mut self, name: &str) -> GateId {
+        self.push(name, GateKind::Input, Vec::new())
+            .expect("duplicate input name")
+    }
+
+    /// Declares that signal `of` is a primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an output marker for `of` already exists.
+    pub fn output(&mut self, of: &str) -> Result<GateId, NetlistError> {
+        self.push(of, GateKind::Output, vec![of.to_string()])
+    }
+
+    /// Adds a logic gate driving signal `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateSignal`] if `name` is already
+    /// driven, or [`NetlistError::InvalidArity`] if the fanin count is
+    /// outside `kind`'s range.
+    pub fn gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanins: &[&str],
+    ) -> Result<GateId, NetlistError> {
+        let (lo, hi) = kind.arity();
+        if fanins.len() < lo || fanins.len() > hi {
+            return Err(NetlistError::InvalidArity {
+                gate: name.to_string(),
+                kind: kind.to_string(),
+                got: fanins.len(),
+            });
+        }
+        self.push(name, kind, fanins.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Adds a D flip-flop whose Q output drives `name` and whose D input
+    /// is signal `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateSignal`] if `name` is already
+    /// driven.
+    pub fn dff(&mut self, name: &str, d: &str) -> Result<GateId, NetlistError> {
+        self.push(name, GateKind::Dff, vec![d.to_string()])
+    }
+
+    /// Adds a constant driver for signal `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateSignal`] if `name` is already
+    /// driven.
+    pub fn constant(&mut self, name: &str, value: bool) -> Result<GateId, NetlistError> {
+        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        self.push(name, kind, Vec::new())
+    }
+
+    /// Number of gates added so far.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether no gate has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Resolves names, validates structure and produces the [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::EmptyCircuit`] if no gates were added.
+    /// * [`NetlistError::UnknownSignal`] if a fanin is never driven.
+    /// * [`NetlistError::CombinationalCycle`] if a cycle avoids all
+    ///   registers.
+    pub fn build(self) -> Result<Circuit, NetlistError> {
+        if self.gates.is_empty() {
+            return Err(NetlistError::EmptyCircuit);
+        }
+        let mut gates = Vec::with_capacity(self.gates.len());
+        for pending in &self.gates {
+            let mut fanins = Vec::with_capacity(pending.fanin_names.len());
+            for fname in &pending.fanin_names {
+                let idx = self
+                    .by_name
+                    .get(fname.as_str())
+                    .ok_or_else(|| NetlistError::UnknownSignal(fname.clone()))?;
+                fanins.push(GateId::new(*idx));
+            }
+            gates.push(Gate {
+                name: pending.name.clone(),
+                kind: pending.kind,
+                fanins,
+            });
+        }
+
+        let mut fanouts: Vec<Vec<GateId>> = vec![Vec::new(); gates.len()];
+        for (i, gate) in gates.iter().enumerate() {
+            for &f in &gate.fanins {
+                fanouts[f.index()].push(GateId::new(i));
+            }
+        }
+
+        let inputs: Vec<GateId> = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind == GateKind::Input)
+            .map(|(i, _)| GateId::new(i))
+            .collect();
+        let outputs: Vec<GateId> = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind == GateKind::Output)
+            .map(|(i, _)| GateId::new(i))
+            .collect();
+        let registers: Vec<GateId> = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind == GateKind::Dff)
+            .map(|(i, _)| GateId::new(i))
+            .collect();
+
+        let topo = combinational_topo(&gates, &fanouts)?;
+
+        Ok(Circuit {
+            name: self.name,
+            gates,
+            fanouts,
+            inputs,
+            outputs,
+            registers,
+            topo,
+        })
+    }
+}
+
+/// Kahn's algorithm over the combinational subgraph. Register outputs
+/// count as sources (their value is state); register D inputs terminate
+/// paths. Returns an evaluation order of all non-register gates or a
+/// cycle witness.
+fn combinational_topo(
+    gates: &[Gate],
+    fanouts: &[Vec<GateId>],
+) -> Result<Vec<GateId>, NetlistError> {
+    let n = gates.len();
+    let mut indeg = vec![0usize; n];
+    for (i, gate) in gates.iter().enumerate() {
+        if gate.kind == GateKind::Dff {
+            continue; // registers are not evaluated combinationally
+        }
+        indeg[i] = gate
+            .fanins
+            .iter()
+            .filter(|f| gates[f.index()].kind != GateKind::Dff)
+            .count();
+    }
+    let mut queue: Vec<GateId> = (0..n)
+        .filter(|&i| gates[i].kind != GateKind::Dff && indeg[i] == 0)
+        .map(GateId::new)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        for &f in &fanouts[v.index()] {
+            if gates[f.index()].kind == GateKind::Dff {
+                continue;
+            }
+            indeg[f.index()] -= 1;
+            if indeg[f.index()] == 0 {
+                queue.push(f);
+            }
+        }
+    }
+    let expected = gates.iter().filter(|g| g.kind != GateKind::Dff).count();
+    if order.len() != expected {
+        let witness = (0..n)
+            .find(|&i| gates[i].kind != GateKind::Dff && indeg[i] > 0)
+            .map(|i| gates[i].name.clone())
+            .unwrap_or_default();
+        return Err(NetlistError::CombinationalCycle { witness });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Circuit {
+        let mut b = CircuitBuilder::new("toy");
+        b.input("a");
+        b.input("b");
+        b.gate("x", GateKind::And, &["a", "b"]).unwrap();
+        b.dff("q", "x").unwrap();
+        b.gate("y", GateKind::Or, &["q", "a"]).unwrap();
+        b.output("y").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let c = toy();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.num_registers(), 1);
+        assert_eq!(c.num_combinational(), 5);
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.num_edges(), 6); // x:2, q:1, y:2, out:1
+    }
+
+    #[test]
+    fn fanouts_are_consistent_with_fanins() {
+        let c = toy();
+        for (id, gate) in c.iter() {
+            for &f in gate.fanins() {
+                assert!(
+                    c.fanouts(f).contains(&id),
+                    "{f} should list {id} as fanout"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let c = toy();
+        let pos: HashMap<GateId, usize> = c
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i))
+            .collect();
+        for &id in c.topo_order() {
+            for &f in c.gate(id).fanins() {
+                if c.gate(f).kind() == GateKind::Dff {
+                    continue;
+                }
+                assert!(pos[&f] < pos[&id], "{f} must precede {id}");
+            }
+        }
+        assert_eq!(c.topo_order().len(), c.num_combinational());
+    }
+
+    #[test]
+    fn register_feedback_is_legal() {
+        // q feeds logic that feeds q again: a loop broken by the DFF.
+        let mut b = CircuitBuilder::new("loop");
+        b.input("a");
+        b.gate("x", GateKind::Xor, &["a", "q"]).unwrap();
+        b.dff("q", "x").unwrap();
+        b.output("x").unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.num_registers(), 1);
+    }
+
+    #[test]
+    fn combinational_cycle_is_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.input("a");
+        b.gate("u", GateKind::And, &["a", "v"]).unwrap();
+        b.gate("v", GateKind::Or, &["u", "a"]).unwrap();
+        b.output("v").unwrap();
+        match b.build() {
+            Err(NetlistError::CombinationalCycle { witness }) => {
+                assert!(witness == "u" || witness == "v");
+            }
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_signal_is_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.input("a");
+        b.gate("x", GateKind::Not, &["ghost"]).unwrap();
+        assert!(matches!(b.build(), Err(NetlistError::UnknownSignal(s)) if s == "ghost"));
+    }
+
+    #[test]
+    fn duplicate_signal_is_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.input("a");
+        assert!(matches!(
+            b.gate("a", GateKind::Not, &["a"]),
+            Err(NetlistError::DuplicateSignal(_))
+        ));
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        assert!(matches!(
+            CircuitBuilder::new("nil").build(),
+            Err(NetlistError::EmptyCircuit)
+        ));
+    }
+
+    #[test]
+    fn output_marker_gets_distinct_name() {
+        let c = toy();
+        let out = c.outputs()[0];
+        assert_eq!(c.gate(out).name(), "y%out");
+        assert_eq!(c.gate(out).kind(), GateKind::Output);
+        // The marker observes y.
+        let y = c.find("y").unwrap();
+        assert_eq!(c.gate(out).fanins(), &[y]);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let c = toy();
+        assert!(c.find("q").is_some());
+        assert!(c.find("nope").is_none());
+    }
+
+    #[test]
+    fn invalid_arity_reported() {
+        let mut b = CircuitBuilder::new("bad");
+        b.input("a");
+        let err = b.gate("x", GateKind::Mux, &["a", "a"]).unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidArity { got: 2, .. }));
+    }
+
+    #[test]
+    fn display_summary() {
+        let c = toy();
+        let s = c.to_string();
+        assert!(s.contains("toy"));
+        assert!(s.contains("1 FF"));
+    }
+
+    #[test]
+    fn constants_build() {
+        let mut b = CircuitBuilder::new("c");
+        b.constant("one", true).unwrap();
+        b.gate("x", GateKind::Not, &["one"]).unwrap();
+        b.output("x").unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.gate(c.find("one").unwrap()).kind(), GateKind::Const1);
+    }
+}

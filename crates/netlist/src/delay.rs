@@ -1,0 +1,191 @@
+//! Gate delay models.
+//!
+//! All delays are **integer time units** (think tenths of a gate delay
+//! in some normalized technology). Integer arithmetic keeps every
+//! retiming-feasibility and error-latching-window comparison exact.
+
+use crate::gate::GateKind;
+use crate::Circuit;
+use crate::GateId;
+
+/// Maps each gate to a non-negative integer delay.
+///
+/// The default model assigns technology-flavored relative delays
+/// (inverters fast, XOR slow) plus a per-extra-fanin penalty, which is
+/// enough structure for the retiming experiments; I/O markers and
+/// registers have zero combinational delay (register clock-to-Q and
+/// setup are modeled separately as `T_s`/`T_h` in the ELW machinery).
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{DelayModel, GateKind};
+/// let model = DelayModel::default();
+/// assert!(model.kind_delay(GateKind::Xor, 2) > model.kind_delay(GateKind::Not, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayModel {
+    base: [u32; 14],
+    per_extra_fanin: u32,
+}
+
+fn kind_slot(kind: GateKind) -> usize {
+    match kind {
+        GateKind::Input => 0,
+        GateKind::Output => 1,
+        GateKind::Buf => 2,
+        GateKind::Not => 3,
+        GateKind::And => 4,
+        GateKind::Nand => 5,
+        GateKind::Or => 6,
+        GateKind::Nor => 7,
+        GateKind::Xor => 8,
+        GateKind::Xnor => 9,
+        GateKind::Mux => 10,
+        GateKind::Dff => 11,
+        GateKind::Const0 => 12,
+        GateKind::Const1 => 13,
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        let mut base = [0u32; 14];
+        base[kind_slot(GateKind::Buf)] = 2;
+        base[kind_slot(GateKind::Not)] = 1;
+        base[kind_slot(GateKind::And)] = 4;
+        base[kind_slot(GateKind::Nand)] = 3;
+        base[kind_slot(GateKind::Or)] = 4;
+        base[kind_slot(GateKind::Nor)] = 3;
+        base[kind_slot(GateKind::Xor)] = 6;
+        base[kind_slot(GateKind::Xnor)] = 6;
+        base[kind_slot(GateKind::Mux)] = 5;
+        Self {
+            base,
+            per_extra_fanin: 1,
+        }
+    }
+}
+
+impl DelayModel {
+    /// The default technology-flavored model (same as
+    /// [`DelayModel::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A model where every logic gate has delay 1 and everything else 0;
+    /// useful for unit tests with hand-computable paths.
+    pub fn unit() -> Self {
+        let mut base = [0u32; 14];
+        for kind in GateKind::logic_kinds() {
+            base[kind_slot(*kind)] = 1;
+        }
+        base[kind_slot(GateKind::Mux)] = 1;
+        Self {
+            base,
+            per_extra_fanin: 0,
+        }
+    }
+
+    /// Overrides the delay of one gate kind, returning `self` for
+    /// chaining.
+    pub fn with_kind_delay(mut self, kind: GateKind, delay: u32) -> Self {
+        self.base[kind_slot(kind)] = delay;
+        self
+    }
+
+    /// Overrides the per-extra-fanin penalty (applied to fanins beyond
+    /// the second).
+    pub fn with_fanin_penalty(mut self, penalty: u32) -> Self {
+        self.per_extra_fanin = penalty;
+        self
+    }
+
+    /// Delay of a gate of `kind` with `fanin_count` fanins.
+    pub fn kind_delay(&self, kind: GateKind, fanin_count: usize) -> u32 {
+        let base = self.base[kind_slot(kind)];
+        if base == 0 {
+            return 0;
+        }
+        let extra = fanin_count.saturating_sub(2) as u32;
+        base + extra * self.per_extra_fanin
+    }
+
+    /// Delay of a specific gate of a circuit.
+    pub fn delay(&self, circuit: &Circuit, id: GateId) -> u32 {
+        let gate = circuit.gate(id);
+        self.kind_delay(gate.kind(), gate.fanins().len())
+    }
+
+    /// Delays of every gate of a circuit, indexed by [`GateId`].
+    pub fn delays(&self, circuit: &Circuit) -> Vec<u32> {
+        circuit
+            .iter()
+            .map(|(_, g)| self.kind_delay(g.kind(), g.fanins().len()))
+            .collect()
+    }
+
+    /// The smallest non-zero gate delay in the circuit, if any logic gate
+    /// exists. Used by the paper's §V fallback choice of `R_min`.
+    pub fn min_gate_delay(&self, circuit: &Circuit) -> Option<u32> {
+        circuit
+            .iter()
+            .map(|(_, g)| self.kind_delay(g.kind(), g.fanins().len()))
+            .filter(|&d| d > 0)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    #[test]
+    fn io_and_registers_are_zero_delay() {
+        let m = DelayModel::default();
+        assert_eq!(m.kind_delay(GateKind::Input, 0), 0);
+        assert_eq!(m.kind_delay(GateKind::Output, 1), 0);
+        assert_eq!(m.kind_delay(GateKind::Dff, 1), 0);
+        assert_eq!(m.kind_delay(GateKind::Const1, 0), 0);
+    }
+
+    #[test]
+    fn fanin_penalty_applies_past_two() {
+        let m = DelayModel::default();
+        let d2 = m.kind_delay(GateKind::And, 2);
+        let d5 = m.kind_delay(GateKind::And, 5);
+        assert_eq!(d5, d2 + 3);
+    }
+
+    #[test]
+    fn unit_model_is_flat() {
+        let m = DelayModel::unit();
+        assert_eq!(m.kind_delay(GateKind::And, 8), 1);
+        assert_eq!(m.kind_delay(GateKind::Xor, 2), 1);
+        assert_eq!(m.kind_delay(GateKind::Input, 0), 0);
+    }
+
+    #[test]
+    fn overrides_chain() {
+        let m = DelayModel::default()
+            .with_kind_delay(GateKind::And, 10)
+            .with_fanin_penalty(0);
+        assert_eq!(m.kind_delay(GateKind::And, 6), 10);
+    }
+
+    #[test]
+    fn per_circuit_delays() {
+        let mut b = CircuitBuilder::new("d");
+        b.input("a");
+        b.gate("x", GateKind::Not, &["a"]).unwrap();
+        b.output("x").unwrap();
+        let c = b.build().unwrap();
+        let m = DelayModel::default();
+        let d = m.delays(&c);
+        assert_eq!(d.len(), c.len());
+        assert_eq!(d[c.find("x").unwrap().index()], 1);
+        assert_eq!(m.min_gate_delay(&c), Some(1));
+    }
+}

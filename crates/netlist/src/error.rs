@@ -1,0 +1,109 @@
+//! Error type shared by all netlist operations.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, parsing or validating netlists.
+#[derive(Debug)]
+pub enum NetlistError {
+    /// A `.bench`/BLIF function name was not recognized.
+    UnknownFunction(String),
+    /// A fanin references a signal that is never defined.
+    UnknownSignal(String),
+    /// Two gates drive the same signal name.
+    DuplicateSignal(String),
+    /// A gate has a fanin count outside its kind's arity range.
+    InvalidArity {
+        /// The offending gate's name.
+        gate: String,
+        /// What the gate is.
+        kind: String,
+        /// The number of fanins it was given.
+        got: usize,
+    },
+    /// A cycle through combinational gates only (no register on it).
+    CombinationalCycle {
+        /// Name of one gate on the cycle.
+        witness: String,
+    },
+    /// A syntax error at a specific line of an input file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The circuit is empty or otherwise structurally unusable.
+    EmptyCircuit,
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownFunction(name) => {
+                write!(f, "unknown gate function `{name}`")
+            }
+            NetlistError::UnknownSignal(name) => {
+                write!(f, "signal `{name}` is used but never defined")
+            }
+            NetlistError::DuplicateSignal(name) => {
+                write!(f, "signal `{name}` is driven more than once")
+            }
+            NetlistError::InvalidArity { gate, kind, got } => {
+                write!(f, "gate `{gate}` of kind {kind} has invalid fanin count {got}")
+            }
+            NetlistError::CombinationalCycle { witness } => {
+                write!(f, "combinational cycle through gate `{witness}` (no register on the loop)")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::EmptyCircuit => write!(f, "circuit has no gates"),
+            NetlistError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for NetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetlistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetlistError {
+    fn from(e: io::Error) -> Self {
+        NetlistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::UnknownSignal("n42".into());
+        assert_eq!(e.to_string(), "signal `n42` is used but never defined");
+        let e = NetlistError::Parse { line: 7, message: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_wraps_with_source() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = NetlistError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

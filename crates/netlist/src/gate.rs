@@ -1,0 +1,319 @@
+//! Gate kinds and single-gate records.
+
+use std::fmt;
+
+use crate::error::NetlistError;
+
+/// Identifier of a gate inside a [`Circuit`](crate::Circuit).
+///
+/// `GateId`s are dense indices assigned in insertion order, so they can
+/// be used to index side tables (`Vec<T>` keyed by gate).
+///
+/// # Examples
+///
+/// ```
+/// use netlist::GateId;
+/// let id = GateId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(u32);
+
+impl GateId {
+    /// Creates an id from a dense index.
+    pub fn new(index: usize) -> Self {
+        GateId(u32::try_from(index).expect("gate index exceeds u32"))
+    }
+
+    /// Returns the dense index of this gate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The logic function (or structural role) of a gate.
+///
+/// The set covers everything appearing in ISCAS89 `.bench` files and in
+/// the structural BLIF subset we read: primary inputs/outputs, the basic
+/// gate library, D flip-flops and constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// Primary input (no fanins).
+    Input,
+    /// Primary output marker (one fanin, no fanouts).
+    Output,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-ary AND.
+    And,
+    /// N-ary NAND.
+    Nand,
+    /// N-ary OR.
+    Or,
+    /// N-ary NOR.
+    Nor,
+    /// N-ary XOR (odd parity).
+    Xor,
+    /// N-ary XNOR (even parity).
+    Xnor,
+    /// Two-input multiplexer: fanins are `[sel, a, b]`, output is
+    /// `a` when `sel = 0` and `b` when `sel = 1`.
+    Mux,
+    /// Edge-triggered D flip-flop (one fanin: D; output: Q).
+    Dff,
+    /// Constant 0.
+    Const0,
+    /// Constant 1.
+    Const1,
+}
+
+impl GateKind {
+    /// Whether the gate belongs to the combinational part of the circuit
+    /// (everything except [`GateKind::Dff`]).
+    ///
+    /// Note that [`GateKind::Input`] and [`GateKind::Output`] count as
+    /// combinational vertices: they become zero-delay vertices of the
+    /// retiming graph attached to the host.
+    pub fn is_combinational(self) -> bool {
+        self != GateKind::Dff
+    }
+
+    /// Whether the gate is a register.
+    pub fn is_register(self) -> bool {
+        self == GateKind::Dff
+    }
+
+    /// The inclusive range of fanin counts this kind accepts.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => (0, 0),
+            GateKind::Output | GateKind::Buf | GateKind::Not | GateKind::Dff => (1, 1),
+            GateKind::Mux => (3, 3),
+            // .bench files in the wild occasionally use 1-input AND/OR as
+            // buffers, so accept a single fanin for the n-ary kinds.
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => (1, usize::MAX),
+        }
+    }
+
+    /// Evaluates the gate on boolean fanin values.
+    ///
+    /// For [`GateKind::Dff`] this returns the D input (the *next* state);
+    /// sequential semantics live in the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is outside [`GateKind::arity`].
+    pub fn eval_bool(self, inputs: &[bool]) -> bool {
+        let (lo, hi) = self.arity();
+        assert!(
+            inputs.len() >= lo && inputs.len() <= hi,
+            "{self} expects {lo}..={hi} fanins, got {}",
+            inputs.len()
+        );
+        match self {
+            GateKind::Input => false,
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Output | GateKind::Buf | GateKind::Dff => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+        }
+    }
+
+    /// Parses an ISCAS89 `.bench` function name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownFunction`] for unrecognized names.
+    pub fn from_bench_name(name: &str) -> Result<Self, NetlistError> {
+        match name.to_ascii_uppercase().as_str() {
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "MUX" => Ok(GateKind::Mux),
+            "DFF" | "FF" => Ok(GateKind::Dff),
+            other => Err(NetlistError::UnknownFunction(other.to_string())),
+        }
+    }
+
+    /// The `.bench` function name for this kind, if it has one.
+    pub fn bench_name(self) -> Option<&'static str> {
+        match self {
+            GateKind::And => Some("AND"),
+            GateKind::Nand => Some("NAND"),
+            GateKind::Or => Some("OR"),
+            GateKind::Nor => Some("NOR"),
+            GateKind::Not => Some("NOT"),
+            GateKind::Buf => Some("BUF"),
+            GateKind::Xor => Some("XOR"),
+            GateKind::Xnor => Some("XNOR"),
+            GateKind::Mux => Some("MUX"),
+            GateKind::Dff => Some("DFF"),
+            GateKind::Input | GateKind::Output | GateKind::Const0 | GateKind::Const1 => None,
+        }
+    }
+
+    /// All kinds that can appear as internal logic gates in generated
+    /// circuits (excludes I/O markers, registers and constants).
+    pub fn logic_kinds() -> &'static [GateKind] {
+        &[
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Not,
+            GateKind::Buf,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ]
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Input => "INPUT",
+            GateKind::Output => "OUTPUT",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            other => other.bench_name().unwrap_or("?"),
+        };
+        f.write_str(s)
+    }
+}
+
+/// One gate of a circuit: its name, kind and fanin list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Gate {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: Vec<GateId>,
+}
+
+impl Gate {
+    /// The user-visible signal name of this gate's output.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The gate's kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The gate's fanin signals, in functional order.
+    pub fn fanins(&self) -> &[GateId] {
+        &self.fanins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_gates() {
+        use GateKind::*;
+        assert!(And.eval_bool(&[true, true]));
+        assert!(!And.eval_bool(&[true, false]));
+        assert!(!Nand.eval_bool(&[true, true]));
+        assert!(Or.eval_bool(&[false, true]));
+        assert!(Nor.eval_bool(&[false, false]));
+        assert!(Xor.eval_bool(&[true, false, false]));
+        assert!(!Xor.eval_bool(&[true, true, false, false]));
+        assert!(Xnor.eval_bool(&[true, true]));
+        assert!(Not.eval_bool(&[false]));
+        assert!(Buf.eval_bool(&[true]));
+        assert!(Const1.eval_bool(&[]));
+        assert!(!Const0.eval_bool(&[]));
+    }
+
+    #[test]
+    fn eval_mux() {
+        // [sel, a, b]
+        assert!(!GateKind::Mux.eval_bool(&[false, false, true]));
+        assert!(GateKind::Mux.eval_bool(&[true, false, true]));
+        assert!(GateKind::Mux.eval_bool(&[false, true, false]));
+    }
+
+    #[test]
+    fn eval_wide_gates() {
+        let inputs = vec![true; 9];
+        assert!(GateKind::And.eval_bool(&inputs));
+        assert!(GateKind::Xor.eval_bool(&inputs)); // odd parity
+    }
+
+    #[test]
+    #[should_panic(expected = "fanins")]
+    fn eval_bad_arity_panics() {
+        GateKind::Not.eval_bool(&[true, false]);
+    }
+
+    #[test]
+    fn bench_name_round_trip() {
+        for kind in GateKind::logic_kinds() {
+            let name = kind.bench_name().expect("logic kinds have names");
+            assert_eq!(GateKind::from_bench_name(name).expect("parses"), *kind);
+        }
+        assert_eq!(
+            GateKind::from_bench_name("dff").expect("case-insensitive"),
+            GateKind::Dff
+        );
+        assert!(GateKind::from_bench_name("FOO").is_err());
+    }
+
+    #[test]
+    fn arity_bounds() {
+        assert_eq!(GateKind::Input.arity(), (0, 0));
+        assert_eq!(GateKind::Dff.arity(), (1, 1));
+        assert_eq!(GateKind::Mux.arity(), (3, 3));
+        let (lo, hi) = GateKind::Nand.arity();
+        assert_eq!(lo, 1);
+        assert_eq!(hi, usize::MAX);
+    }
+
+    #[test]
+    fn gate_id_display_and_index() {
+        let id = GateId::new(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.to_string(), "g17");
+    }
+
+    #[test]
+    fn combinational_classification() {
+        assert!(GateKind::And.is_combinational());
+        assert!(GateKind::Input.is_combinational());
+        assert!(!GateKind::Dff.is_combinational());
+        assert!(GateKind::Dff.is_register());
+    }
+}

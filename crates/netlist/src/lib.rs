@@ -1,0 +1,55 @@
+//! # netlist — gate-level sequential circuits
+//!
+//! Foundation crate of the **minobswin** suite (a reproduction of
+//! Lu & Zhou, *Retiming for Soft Error Minimization Under Error-Latching
+//! Window Constraints*, DATE 2013). It provides:
+//!
+//! * [`Circuit`]/[`CircuitBuilder`]: a validated gate-level sequential
+//!   netlist (every cycle must pass through a register),
+//! * [`bench_format`]: the ISCAS89 `.bench` reader/writer,
+//! * [`blif`]: a structural-BLIF reader/writer,
+//! * [`generator`]: deterministic synthetic circuits, including *twins*
+//!   of the 21 Table I benchmark circuits,
+//! * [`DelayModel`]: integer gate delays,
+//! * [`rng`]: a reproducible PRNG shared by the whole suite,
+//! * [`samples`]: hand-built circuits for tests and figure
+//!   reproductions.
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::{CircuitBuilder, DelayModel, GateKind};
+//! # fn main() -> Result<(), netlist::NetlistError> {
+//! let mut b = CircuitBuilder::new("demo");
+//! b.input("a");
+//! b.gate("x", GateKind::Not, &["a"])?;
+//! b.dff("q", "x")?;
+//! b.gate("y", GateKind::Nand, &["q", "a"])?;
+//! b.output("y")?;
+//! let circuit = b.build()?;
+//!
+//! let delays = DelayModel::default().delays(&circuit);
+//! assert_eq!(delays.len(), circuit.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bench_format;
+pub mod blif;
+mod circuit;
+pub mod verilog;
+mod delay;
+mod error;
+mod gate;
+pub mod generator;
+pub mod rng;
+pub mod samples;
+pub mod stats;
+
+pub use circuit::{Circuit, CircuitBuilder};
+pub use delay::DelayModel;
+pub use error::NetlistError;
+pub use gate::{Gate, GateId, GateKind};

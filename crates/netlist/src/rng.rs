@@ -1,0 +1,223 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The whole reproduction pipeline (circuit generation, simulation
+//! signatures) must be bit-reproducible across platforms and compiler
+//! versions, so we implement a small, well-known PRNG instead of relying
+//! on an external crate whose stream may change between releases.
+//!
+//! [`SplitMix64`] is used to seed [`Xoshiro256`] (xoshiro256\*\*), the
+//! same construction recommended by the xoshiro authors.
+
+/// SplitMix64 generator, mainly used to expand a 64-bit seed into the
+/// 256-bit state of [`Xoshiro256`].
+///
+/// # Examples
+///
+/// ```
+/// use netlist::rng::SplitMix64;
+/// let mut sm = SplitMix64::new(42);
+/// let a = sm.next_u64();
+/// let b = sm.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* generator: fast, high-quality, 256-bit state.
+///
+/// This is the workhorse generator for circuit synthesis and signature
+/// simulation. Identical seeds produce identical streams forever.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::rng::Xoshiro256;
+/// let mut rng = Xoshiro256::seed_from_u64(7);
+/// let die = rng.gen_range(6) + 1;
+/// assert!((1..=6).contains(&die));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator whose 256-bit state is expanded from `seed`
+    /// with [`SplitMix64`].
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state is the one fixed point of the generator.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `0..bound`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so the result is
+    /// unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_range bound must be positive");
+        let bound = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low < bound {
+                let threshold = bound.wrapping_neg() % bound;
+                if low < threshold {
+                    continue;
+                }
+            }
+            return (m >> 64) as usize;
+        }
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.gen_range(slice.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference values for seed 1234567 from the public SplitMix64
+        // reference implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let v: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+        assert_eq!(v[0], 6457827717110365317);
+        assert_eq!(v[1], 3203168211198807973);
+        assert_eq!(v[2], 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_deterministic() {
+        let mut a = Xoshiro256::seed_from_u64(99);
+        let mut b = Xoshiro256::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_differs_by_seed() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = rng.gen_range(7);
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should move elements");
+    }
+
+    #[test]
+    fn gen_bool_probability_sanity() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gen_range_zero_panics() {
+        Xoshiro256::seed_from_u64(0).gen_range(0);
+    }
+}

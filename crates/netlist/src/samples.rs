@@ -1,0 +1,180 @@
+//! Small hand-built circuits used by tests, examples and the figure
+//! reproductions.
+
+use crate::circuit::{Circuit, CircuitBuilder};
+use crate::gate::GateKind;
+
+/// A miniature sequential benchmark in the style of ISCAS89 `s27`:
+/// 4 inputs, 1 output, 3 flip-flops, 10 logic gates with feedback.
+pub fn s27_like() -> Circuit {
+    let mut b = CircuitBuilder::new("s27_like");
+    for n in ["G0", "G1", "G2", "G3"] {
+        b.input(n);
+    }
+    b.dff("G5", "G10").unwrap();
+    b.dff("G6", "G11").unwrap();
+    b.dff("G7", "G13").unwrap();
+    b.gate("G14", GateKind::Not, &["G0"]).unwrap();
+    b.gate("G8", GateKind::And, &["G14", "G6"]).unwrap();
+    b.gate("G12", GateKind::Nor, &["G1", "G7"]).unwrap();
+    b.gate("G15", GateKind::Or, &["G12", "G8"]).unwrap();
+    b.gate("G16", GateKind::Or, &["G3", "G8"]).unwrap();
+    b.gate("G9", GateKind::Nand, &["G16", "G15"]).unwrap();
+    b.gate("G11", GateKind::Nor, &["G5", "G9"]).unwrap();
+    b.gate("G10", GateKind::Nor, &["G14", "G11"]).unwrap();
+    b.gate("G13", GateKind::Nand, &["G2", "G12"]).unwrap();
+    b.gate("G17", GateKind::Not, &["G11"]).unwrap();
+    b.output("G17").unwrap();
+    b.build().expect("s27_like is valid")
+}
+
+/// A pipeline: `stages` logic gates in a chain with a register after
+/// every `regs_every`-th gate, closed through a register back to the
+/// front (so retiming has a loop to work with).
+///
+/// # Panics
+///
+/// Panics if `stages == 0` or `regs_every == 0`.
+pub fn pipeline(stages: usize, regs_every: usize) -> Circuit {
+    assert!(stages > 0 && regs_every > 0);
+    let mut b = CircuitBuilder::new(format!("pipeline_{stages}_{regs_every}"));
+    b.input("in");
+    let mut prev = String::from("in");
+    let mut reg_idx = 0;
+    for i in 0..stages {
+        let gname = format!("s{i}");
+        // Mix in the feedback register at the front gate.
+        if i == 0 {
+            b.gate(&gname, GateKind::Nand, &[prev.as_str(), "fb"]).unwrap();
+        } else {
+            b.gate(&gname, GateKind::Not, &[prev.as_str()]).unwrap();
+        }
+        prev = gname;
+        if (i + 1) % regs_every == 0 && i + 1 != stages {
+            let rname = format!("r{reg_idx}");
+            b.dff(&rname, &prev).unwrap();
+            reg_idx += 1;
+            prev = rname;
+        }
+    }
+    b.dff("fb", &prev).unwrap();
+    b.output(&prev).unwrap();
+    b.build().expect("pipeline is valid")
+}
+
+/// The circuit used to reproduce the phenomenon of the paper's Fig. 1:
+/// a register relocation that lowers total register observability (and
+/// even the register count) but enlarges the error-latching windows of
+/// the upstream gates `A` and `B`, worsening the overall SER.
+///
+/// Structure:
+///
+/// ```text
+/// pi0,pi1,pi2 ─ A ─┬─ [FF qa] ─┐
+///                  └─ H1 ─ [FF qh1] ─ J1 ─ po     F = XOR (slow)
+/// pi1,pi2,pi3 ─ B ─┬─ [FF qb] ─┴─ F ─ G ─ po
+///                  └─ H2 ─ [FF qh2] ─ J2 ─ po
+/// ```
+///
+/// The move `r(F) = −1` pulls the registers `qa`/`qb` forward onto
+/// `F`'s output: the two registers merge into one with lower
+/// observability (XOR propagates everything, so `obs(F) ≈ obs(A)`,
+/// replacing `obs(A) + obs(B)`), but `A` and `B` now see *two*
+/// register paths of very different lengths (through slow `F` vs. fast
+/// `H1`/`H2`), so their ELWs split into disjoint windows and grow — by
+/// exactly 1 delay unit under the default model, as in the paper's
+/// figure.
+pub fn fig1_like() -> Circuit {
+    let mut b = CircuitBuilder::new("fig1_like");
+    for n in ["pi0", "pi1", "pi2", "pi3"] {
+        b.input(n);
+    }
+    // Transparent (XOR) chains upstream of A and B: every chain gate is
+    // fully sensitized, collects strikes at the XOR rate, and inherits
+    // the ELW growth the move causes at A/B.
+    b.gate("a1", GateKind::Xor, &["pi0", "pi1"]).unwrap();
+    b.gate("a2", GateKind::Xor, &["a1", "pi2"]).unwrap();
+    b.gate("A", GateKind::Xor, &["a2", "pi1"]).unwrap();
+    b.gate("b1", GateKind::Xor, &["pi3", "pi2"]).unwrap();
+    b.gate("b2", GateKind::Xor, &["b1", "pi1"]).unwrap();
+    b.gate("B", GateKind::Xor, &["b2", "pi3"]).unwrap();
+    b.dff("qa", "A").unwrap();
+    b.dff("qb", "B").unwrap();
+    b.gate("F", GateKind::Xor, &["qa", "qb"]).unwrap();
+    b.gate("G", GateKind::Nand, &["F", "pi0"]).unwrap();
+    b.output("G").unwrap();
+    // Secondary observation paths give A and B a second ELW component;
+    // they are deliberately the *shortest* register-launched paths of
+    // the circuit (delay 7), so §V-style R_min lands at 7 and the
+    // Fig. 1 move (which creates a launched path of delay 3 through G)
+    // violates P2.
+    b.gate("H1", GateKind::Not, &["A"]).unwrap();
+    b.dff("qh1", "H1").unwrap();
+    b.gate("J1", GateKind::And, &["qh1", "pi0"]).unwrap();
+    b.gate("J1b", GateKind::Nor, &["J1", "pi1"]).unwrap();
+    b.output("J1b").unwrap();
+    b.gate("H2", GateKind::Not, &["B"]).unwrap();
+    b.dff("qh2", "H2").unwrap();
+    b.gate("J2", GateKind::And, &["qh2", "pi3"]).unwrap();
+    b.gate("J2b", GateKind::Nor, &["J2", "pi2"]).unwrap();
+    b.output("J2b").unwrap();
+    b.build().expect("fig1_like is valid")
+}
+
+/// A two-phase "ping-pong" loop: two register stages around a ring of
+/// logic. Minimal circuit where min-period retiming actually moves
+/// registers.
+pub fn two_stage_loop() -> Circuit {
+    let mut b = CircuitBuilder::new("two_stage_loop");
+    b.input("in");
+    b.gate("f1", GateKind::Nand, &["in", "q2"]).unwrap();
+    b.gate("f2", GateKind::Not, &["f1"]).unwrap();
+    b.gate("f3", GateKind::Not, &["f2"]).unwrap();
+    b.dff("q1", "f3").unwrap();
+    b.gate("g1", GateKind::Not, &["q1"]).unwrap();
+    b.dff("q2", "g1").unwrap();
+    b.output("g1").unwrap();
+    b.build().expect("two_stage_loop is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_like_shape() {
+        let c = s27_like();
+        assert_eq!(c.inputs().len(), 4);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.num_registers(), 3);
+    }
+
+    #[test]
+    fn pipeline_register_count() {
+        let c = pipeline(9, 3);
+        // registers after s2 and s5, plus the feedback register.
+        assert_eq!(c.num_registers(), 3);
+        assert_eq!(c.inputs().len(), 1);
+    }
+
+    #[test]
+    fn fig1_like_shape() {
+        let c = fig1_like();
+        assert_eq!(c.num_registers(), 4);
+        let f = c.find("F").unwrap();
+        assert_eq!(c.gate(f).kind(), GateKind::Xor);
+        assert_eq!(c.outputs().len(), 3);
+    }
+
+    #[test]
+    fn two_stage_loop_valid() {
+        let c = two_stage_loop();
+        assert_eq!(c.num_registers(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pipeline_zero_stages_panics() {
+        pipeline(0, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Summary statistics of a circuit (the "Statistics" columns of the
+//! paper's Table I live at the retiming-graph level; these are the
+//! netlist-level counterparts).
+
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Netlist-level statistics.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{generator::GeneratorConfig, stats::CircuitStats};
+/// let c = GeneratorConfig::new("s", 1).gates(64).registers(8).build();
+/// let stats = CircuitStats::of(&c);
+/// assert_eq!(stats.registers, 8);
+/// assert!(stats.avg_fanin() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Total gates including I/O markers and registers.
+    pub total: usize,
+    /// Combinational gates (everything but registers), including I/O
+    /// markers.
+    pub combinational: usize,
+    /// Logic gates only (no I/O markers, constants or registers).
+    pub logic: usize,
+    /// Registers.
+    pub registers: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Fanin references of logic gates and output markers (signal
+    /// edges, excluding register D pins).
+    pub edges: usize,
+    /// Largest fanin.
+    pub max_fanin: usize,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut logic = 0;
+        let mut edges = 0;
+        let mut max_fanin = 0;
+        for (_, gate) in circuit.iter() {
+            match gate.kind() {
+                GateKind::Dff => {}
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 => {}
+                GateKind::Output => edges += gate.fanins().len(),
+                _ => {
+                    logic += 1;
+                    edges += gate.fanins().len();
+                    max_fanin = max_fanin.max(gate.fanins().len());
+                }
+            }
+        }
+        Self {
+            total: circuit.len(),
+            combinational: circuit.num_combinational(),
+            logic,
+            registers: circuit.num_registers(),
+            inputs: circuit.inputs().len(),
+            outputs: circuit.outputs().len(),
+            edges,
+            max_fanin,
+        }
+    }
+
+    /// Average fanin of logic gates.
+    pub fn avg_fanin(&self) -> f64 {
+        if self.logic == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.logic as f64
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} (logic {}), edges={}, #FF={}, PI={}, PO={}, max fanin {}",
+            self.combinational,
+            self.logic,
+            self.edges,
+            self.registers,
+            self.inputs,
+            self.outputs,
+            self.max_fanin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn counts_toy_circuit() {
+        let mut b = CircuitBuilder::new("t");
+        b.input("a");
+        b.input("b");
+        b.gate("x", GateKind::And, &["a", "b"]).unwrap();
+        b.dff("q", "x").unwrap();
+        b.gate("y", GateKind::Or, &["q", "a", "b"]).unwrap();
+        b.output("y").unwrap();
+        let s = CircuitStats::of(&b.build().unwrap());
+        assert_eq!(s.total, 6);
+        assert_eq!(s.logic, 2);
+        assert_eq!(s.registers, 1);
+        assert_eq!(s.edges, 2 + 3 + 1); // x + y + output marker
+        assert_eq!(s.max_fanin, 3);
+        assert!((s.avg_fanin() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_ff() {
+        let mut b = CircuitBuilder::new("t");
+        b.input("a");
+        b.output("a").unwrap();
+        let s = CircuitStats::of(&b.build().unwrap());
+        assert!(s.to_string().contains("#FF=0"));
+    }
+}

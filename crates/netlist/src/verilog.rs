@@ -1,0 +1,508 @@
+//! Reader and writer for a gate-level structural Verilog subset.
+//!
+//! Supported constructs: one `module` with a port list, scalar
+//! `input`/`output`/`wire` declarations, the gate primitives
+//! `and or nand nor xor xnor not buf` (first connection is the
+//! output), and D flip-flops written as `dff` instances with the port
+//! order `(Q, D)` (also accepted: `DFF`, `FD`, `dff_x1`-style cell
+//! names). Vectors, `assign`, behavioural blocks and hierarchies are
+//! rejected with a clear error — this crate models flat gate-level
+//! netlists.
+//!
+//! ```text
+//! module counter (clk, a, y);
+//!   input a;
+//!   output y;
+//!   wire w1, q1;
+//!   nand g1 (w1, a, q1);
+//!   dff  r1 (q1, w1);
+//!   not  g2 (y, q1);
+//! endmodule
+//! ```
+//!
+//! (A `clk` port is tolerated and ignored; registers are implicitly
+//! clocked by the single global clock, as everywhere in this suite.)
+
+use std::fs;
+use std::path::Path;
+
+use crate::circuit::{Circuit, CircuitBuilder};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Parses a circuit from structural Verilog text.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax errors and unsupported
+/// constructs, plus the structural errors of
+/// [`CircuitBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let src = "\
+/// module tiny (a, b, y);
+///   input a, b;
+///   output y;
+///   wire w, q;
+///   and g1 (w, a, b);
+///   dff r1 (q, w);
+///   not g2 (y, q);
+/// endmodule
+/// ";
+/// let c = netlist::verilog::parse(src)?;
+/// assert_eq!(c.name(), "tiny");
+/// assert_eq!(c.num_registers(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    let cleaned = strip_comments(text);
+    let mut builder: Option<CircuitBuilder> = None;
+    let mut outputs: Vec<String> = Vec::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut pending_gates: Vec<(String, GateKind, Vec<String>)> = Vec::new();
+    let mut pending_dffs: Vec<(String, String)> = Vec::new();
+    let clock_names = ["clk", "clock", "CLK"];
+
+    for (line_no, stmt) in statements(&cleaned) {
+        let tokens: Vec<&str> = stmt.split_whitespace().collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens[0] {
+            "module" => {
+                let name = tokens
+                    .get(1)
+                    .map(|t| t.trim_end_matches('('))
+                    .filter(|t| !t.is_empty())
+                    .ok_or_else(|| err(line_no, "module needs a name"))?;
+                builder = Some(CircuitBuilder::new(name.to_string()));
+            }
+            "endmodule" => break,
+            "input" => {
+                for name in decl_names(&stmt["input".len()..], line_no)? {
+                    if clock_names.contains(&name.as_str()) {
+                        continue; // single implicit clock
+                    }
+                    inputs.push(name);
+                }
+            }
+            "output" => {
+                outputs.extend(decl_names(&stmt["output".len()..], line_no)?);
+            }
+            "wire" => {
+                let _ = decl_names(&stmt["wire".len()..], line_no)?; // names are implicit
+            }
+            "assign" | "always" | "reg" | "initial" => {
+                return Err(err(
+                    line_no,
+                    &format!("`{}` is not structural gate-level Verilog", tokens[0]),
+                ));
+            }
+            prim => {
+                let conns = parse_instance(&stmt, line_no)?;
+                let lower = prim.to_ascii_lowercase();
+                if lower == "dff" || lower == "fd" || lower.starts_with("dff_") {
+                    if conns.len() != 2 {
+                        return Err(err(line_no, "dff takes exactly (Q, D)"));
+                    }
+                    pending_dffs.push((conns[0].clone(), conns[1].clone()));
+                } else {
+                    let kind = match lower.as_str() {
+                        "and" => GateKind::And,
+                        "nand" => GateKind::Nand,
+                        "or" => GateKind::Or,
+                        "nor" => GateKind::Nor,
+                        "xor" => GateKind::Xor,
+                        "xnor" => GateKind::Xnor,
+                        "not" => GateKind::Not,
+                        "buf" => GateKind::Buf,
+                        other => {
+                            return Err(err(line_no, &format!("unsupported primitive `{other}`")))
+                        }
+                    };
+                    if conns.len() < 2 {
+                        return Err(err(line_no, "primitive needs an output and inputs"));
+                    }
+                    pending_gates.push((conns[0].clone(), kind, conns[1..].to_vec()));
+                }
+            }
+        }
+    }
+
+    let mut b = builder.ok_or(NetlistError::EmptyCircuit)?;
+    for name in &inputs {
+        b.gate(name, GateKind::Input, &[])
+            .map_err(|e| NetlistError::Parse { line: 0, message: e.to_string() })?;
+    }
+    for (out, kind, fanins) in &pending_gates {
+        let refs: Vec<&str> = fanins.iter().map(String::as_str).collect();
+        b.gate(out, *kind, &refs)
+            .map_err(|e| NetlistError::Parse { line: 0, message: e.to_string() })?;
+    }
+    for (q, d) in &pending_dffs {
+        b.dff(q, d)
+            .map_err(|e| NetlistError::Parse { line: 0, message: e.to_string() })?;
+    }
+    for out in &outputs {
+        b.output(out)?;
+    }
+    b.build()
+}
+
+/// Reads and parses a Verilog file.
+///
+/// # Errors
+///
+/// Propagates I/O errors and the errors of [`parse`].
+pub fn read_file(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
+    parse(&fs::read_to_string(path)?)
+}
+
+/// Serializes a circuit to the structural Verilog subset.
+///
+/// Constants are emitted as `buf` instances driven by the literals
+/// `1'b0`/`1'b1` — re-reading them requires a tool that accepts literal
+/// connections, so prefer `.bench`/BLIF for lossless round trips of
+/// circuits with constants (the generator never emits constants).
+pub fn write(circuit: &Circuit) -> String {
+    let sanitize = |s: &str| s.replace('%', "_").replace('.', "_");
+    let mut out = String::new();
+    let pis: Vec<String> = circuit
+        .inputs()
+        .iter()
+        .map(|&g| sanitize(circuit.gate(g).name()))
+        .collect();
+    let pos: Vec<String> = circuit
+        .outputs()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| format!("po{i}"))
+        .collect();
+    let mut ports = pis.clone();
+    ports.extend(pos.iter().cloned());
+    out.push_str(&format!("module {} ({});\n", sanitize(circuit.name()), ports.join(", ")));
+    if !pis.is_empty() {
+        out.push_str(&format!("  input {};\n", pis.join(", ")));
+    }
+    if !pos.is_empty() {
+        out.push_str(&format!("  output {};\n", pos.join(", ")));
+    }
+    let wires: Vec<String> = circuit
+        .iter()
+        .filter(|(_, g)| {
+            !matches!(g.kind(), GateKind::Input | GateKind::Output)
+        })
+        .map(|(_, g)| sanitize(g.name()))
+        .collect();
+    if !wires.is_empty() {
+        out.push_str(&format!("  wire {};\n", wires.join(", ")));
+    }
+    let mut counter = 0usize;
+    for (_, gate) in circuit.iter() {
+        let name = sanitize(gate.name());
+        let fanins: Vec<String> = gate
+            .fanins()
+            .iter()
+            .map(|&f| sanitize(circuit.gate(f).name()))
+            .collect();
+        counter += 1;
+        match gate.kind() {
+            GateKind::Input => {}
+            GateKind::Output => {}
+            GateKind::Dff => {
+                out.push_str(&format!("  dff r{counter} ({name}, {});\n", fanins[0]));
+            }
+            GateKind::Const0 => {
+                out.push_str(&format!("  buf g{counter} ({name}, 1'b0);\n"));
+            }
+            GateKind::Const1 => {
+                out.push_str(&format!("  buf g{counter} ({name}, 1'b1);\n"));
+            }
+            GateKind::Mux => {
+                // Expand: y = (sel & b) | (~sel & a).
+                out.push_str(&format!("  wire {name}_nsel, {name}_t0, {name}_t1;\n"));
+                out.push_str(&format!("  not g{counter}a ({name}_nsel, {});\n", fanins[0]));
+                out.push_str(&format!(
+                    "  and g{counter}b ({name}_t0, {name}_nsel, {});\n",
+                    fanins[1]
+                ));
+                out.push_str(&format!(
+                    "  and g{counter}c ({name}_t1, {}, {});\n",
+                    fanins[0], fanins[2]
+                ));
+                out.push_str(&format!(
+                    "  or g{counter}d ({name}, {name}_t0, {name}_t1);\n"
+                ));
+            }
+            kind => {
+                let prim = match kind {
+                    GateKind::And => "and",
+                    GateKind::Nand => "nand",
+                    GateKind::Or => "or",
+                    GateKind::Nor => "nor",
+                    GateKind::Xor => "xor",
+                    GateKind::Xnor => "xnor",
+                    GateKind::Not => "not",
+                    GateKind::Buf => "buf",
+                    _ => unreachable!("handled above"),
+                };
+                out.push_str(&format!(
+                    "  {prim} g{counter} ({name}, {});\n",
+                    fanins.join(", ")
+                ));
+            }
+        }
+    }
+    for (i, &po) in circuit.outputs().iter().enumerate() {
+        let observed = sanitize(circuit.gate(circuit.gate(po).fanins()[0]).name());
+        counter += 1;
+        out.push_str(&format!("  buf g{counter} (po{i}, {observed});\n"));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Writes a circuit to a Verilog file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_file(circuit: &Circuit, path: impl AsRef<Path>) -> Result<(), NetlistError> {
+    fs::write(path, write(circuit))?;
+    Ok(())
+}
+
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    let mut in_block = false;
+    let mut in_line = false;
+    while let Some(c) = chars.next() {
+        if in_block {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                in_block = false;
+            }
+            if c == '\n' {
+                out.push('\n');
+            }
+            continue;
+        }
+        if in_line {
+            if c == '\n' {
+                in_line = false;
+                out.push('\n');
+            }
+            continue;
+        }
+        if c == '/' {
+            match chars.peek() {
+                Some('/') => {
+                    in_line = true;
+                    continue;
+                }
+                Some('*') => {
+                    chars.next();
+                    in_block = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Splits on `;`, tracking line numbers; `module ... ;` headers keep
+/// their parenthesized port list inside one statement.
+fn statements(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1;
+    let mut line = 1;
+    for c in text.chars() {
+        if c == '\n' {
+            line += 1;
+        }
+        if c == ';' {
+            let stmt = current.trim().to_string();
+            if !stmt.is_empty() {
+                out.push((start_line, stmt));
+            }
+            current.clear();
+            start_line = line;
+        } else {
+            current.push(c);
+        }
+    }
+    let tail = current.trim().to_string();
+    if !tail.is_empty() {
+        out.push((start_line, tail)); // e.g. `endmodule`
+    }
+    out
+}
+
+fn decl_names(rest: &str, line: usize) -> Result<Vec<String>, NetlistError> {
+    if rest.contains('[') {
+        return Err(err(line, "vector declarations are not supported (flatten first)"));
+    }
+    Ok(rest
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect())
+}
+
+/// Parses `prim inst (out, in1, in2, ...)`; returns the connections
+/// (first one is the output).
+fn parse_instance(stmt: &str, line: usize) -> Result<Vec<String>, NetlistError> {
+    let open = stmt
+        .find('(')
+        .ok_or_else(|| err(line, "instance needs a connection list"))?;
+    let close = stmt
+        .rfind(')')
+        .ok_or_else(|| err(line, "unterminated connection list"))?;
+    if close < open {
+        return Err(err(line, "malformed connection list"));
+    }
+    let conns: Vec<String> = stmt[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if conns.iter().any(|c| c.starts_with('.')) {
+        return Err(err(line, "named port connections are not supported"));
+    }
+    if conns.is_empty() {
+        return Err(err(line, "instance needs at least one connection"));
+    }
+    Ok(conns)
+}
+
+fn err(line: usize, message: &str) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "\
+// a tiny sequential module
+module tiny (clk, a, b, y, z);
+  input clk;
+  input a, b;
+  output y, z;
+  wire w, q;
+  /* the datapath */
+  and g1 (w, a, b);
+  dff r1 (q, w);
+  not g2 (y, q);
+  xor g3 (z, q, a);
+endmodule
+";
+
+    #[test]
+    fn parses_tiny() {
+        let c = parse(TINY).unwrap();
+        assert_eq!(c.name(), "tiny");
+        assert_eq!(c.inputs().len(), 2, "clk is ignored");
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.num_registers(), 1);
+        assert_eq!(c.find("w").map(|g| c.gate(g).kind()), Some(GateKind::And));
+        assert_eq!(c.find("z").map(|g| c.gate(g).kind()), Some(GateKind::Xor));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c1 = crate::samples::s27_like();
+        let text = write(&c1);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c1.num_registers(), c2.num_registers());
+        assert_eq!(c1.inputs().len(), c2.inputs().len());
+        assert_eq!(c1.outputs().len(), c2.outputs().len());
+        for (_, g1) in c1.iter() {
+            if matches!(g1.kind(), GateKind::Output) {
+                continue;
+            }
+            let id2 = c2.find(g1.name()).expect("gate survives");
+            assert_eq!(g1.kind(), c2.gate(id2).kind(), "{}", g1.name());
+        }
+    }
+
+    #[test]
+    fn generated_circuit_round_trips() {
+        let c1 = crate::generator::GeneratorConfig::new("vrt", 5)
+            .gates(80)
+            .registers(15)
+            .build();
+        let text = write(&c1);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c1.num_registers(), c2.num_registers());
+        // The writer adds one observation buffer per primary output.
+        assert_eq!(c1.num_edges() + c1.outputs().len(), c2.num_edges());
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let src = "module m (a, y); // ports\n input a; /* in */ output y;\n buf g (y, a);\nendmodule\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.inputs().len(), 1);
+    }
+
+    #[test]
+    fn behavioural_rejected() {
+        let src = "module m (a, y);\n input a; output y;\n assign y = a;\nendmodule\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("assign"), "{e}");
+    }
+
+    #[test]
+    fn vectors_rejected() {
+        let src = "module m (a, y);\n input [3:0] a;\n output y;\nendmodule\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn named_ports_rejected() {
+        let src = "module m (a, y);\n input a; output y;\n buf g (.o(y), .i(a));\nendmodule\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn unknown_primitive_rejected() {
+        let src = "module m (a, y);\n input a; output y;\n latch g (y, a);\nendmodule\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("latch"), "{e}");
+    }
+
+    #[test]
+    fn dff_cell_name_variants() {
+        for cell in ["dff", "DFF", "fd", "dff_x1"] {
+            let src = format!(
+                "module m (a, y);\n input a; output y;\n {cell} r (q, a);\n not g (y, q);\nendmodule\n"
+            );
+            let c = parse(&src).unwrap_or_else(|e| panic!("{cell}: {e}"));
+            assert_eq!(c.num_registers(), 1, "{cell}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("minobswin_verilog_test.v");
+        let c1 = crate::samples::pipeline(6, 3);
+        write_file(&c1, &path).unwrap();
+        let c2 = read_file(&path).unwrap();
+        assert_eq!(c1.num_registers(), c2.num_registers());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for retiming-graph operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by retiming-graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetimeError {
+    /// A cycle of registers with no combinational gate on it (isolated
+    /// state that no retiming formulation can express).
+    RegisterLoop {
+        /// Name of one register on the loop.
+        witness: String,
+    },
+    /// The retimed circuit has a combinational cycle (a structural cycle
+    /// whose registers were all moved away) — the retiming is invalid.
+    ZeroWeightCycle,
+    /// A retiming assigns negative registers to an edge (violates P0).
+    NegativeEdgeWeight {
+        /// Tail vertex name.
+        from: String,
+        /// Head vertex name.
+        to: String,
+        /// The offending weight.
+        weight: i64,
+    },
+    /// No retiming satisfies the requested constraints.
+    Infeasible(String),
+    /// A retiming vector has the wrong length for this graph.
+    WrongLength {
+        /// Expected number of vertices.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RetimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetimeError::RegisterLoop { witness } => {
+                write!(f, "register-only loop through `{witness}`")
+            }
+            RetimeError::ZeroWeightCycle => {
+                write!(f, "retiming creates a combinational cycle")
+            }
+            RetimeError::NegativeEdgeWeight { from, to, weight } => {
+                write!(f, "retimed edge `{from}` -> `{to}` has negative weight {weight}")
+            }
+            RetimeError::Infeasible(why) => write!(f, "no feasible retiming: {why}"),
+            RetimeError::WrongLength { expected, got } => {
+                write!(f, "retiming has length {got}, graph has {expected} vertices")
+            }
+        }
+    }
+}
+
+impl Error for RetimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RetimeError::NegativeEdgeWeight {
+            from: "a".into(),
+            to: "b".into(),
+            weight: -2,
+        };
+        assert!(e.to_string().contains("-2"));
+        assert!(RetimeError::ZeroWeightCycle.to_string().contains("combinational cycle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RetimeError>();
+    }
+}

@@ -1,0 +1,322 @@
+//! Minimum-cost flow (successive shortest paths with potentials).
+//!
+//! Used by the exact reference retiming solver
+//! ([`crate::minarea_ref`]): the linear program
+//! `min Σ b(v)·r(v)` subject to difference constraints
+//! `r(u) − r(v) ≤ c(u,v)` is the dual of a transshipment problem, which
+//! this module solves exactly. All arc costs in that reduction are
+//! non-negative, so Dijkstra with potentials applies throughout.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+const INF: i64 = i64::MAX / 4;
+
+/// A minimum-cost flow problem instance.
+///
+/// # Examples
+///
+/// ```
+/// use retime::flow::MinCostFlow;
+/// let mut mcf = MinCostFlow::new(3);
+/// mcf.add_arc(0, 1, 10, 1);
+/// mcf.add_arc(1, 2, 10, 1);
+/// let result = mcf.solve(&[5, 0, -5]).expect("routable");
+/// assert_eq!(result.cost, 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    num_nodes: usize,
+    // Paired arc representation: arc 2k is forward, 2k+1 its residual.
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    cost: Vec<i64>,
+    adj: Vec<Vec<usize>>,
+}
+
+/// Result of a successful [`MinCostFlow::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Total cost of the routed flow.
+    pub cost: i64,
+    /// Flow on each forward arc, in insertion order.
+    pub flows: Vec<i64>,
+    /// Final node potentials (shortest-path distances accumulated over
+    /// the augmentations); satisfy `cost(u,v) − π(u) + π(v) ≥ 0` for
+    /// every residual arc.
+    pub potentials: Vec<i64>,
+}
+
+impl MinCostFlow {
+    /// Creates an instance with `num_nodes` nodes and no arcs.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            to: Vec::new(),
+            cap: Vec::new(),
+            cost: Vec::new(),
+            adj: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Adds a directed arc with the given capacity and cost; returns
+    /// its index (as reported in [`FlowResult::flows`]). Negative costs
+    /// are allowed only when [`MinCostFlow::solve_with_potentials`] is
+    /// later called with potentials that make every reduced cost
+    /// non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative capacity or out-of-range endpoints.
+    pub fn add_arc(&mut self, from: usize, to: usize, capacity: i64, cost: i64) -> usize {
+        assert!(from < self.num_nodes && to < self.num_nodes, "arc endpoint out of range");
+        assert!(capacity >= 0, "capacity must be non-negative");
+        let idx = self.to.len() / 2;
+        self.adj[from].push(self.to.len());
+        self.to.push(to);
+        self.cap.push(capacity);
+        self.cost.push(cost);
+        self.adj[to].push(self.to.len());
+        self.to.push(from);
+        self.cap.push(0);
+        self.cost.push(-cost);
+        idx
+    }
+
+    /// Adds an uncapacitated arc.
+    pub fn add_arc_unbounded(&mut self, from: usize, to: usize, cost: i64) -> usize {
+        self.add_arc(from, to, INF, cost)
+    }
+
+    /// Routes the given node imbalances (`supply[v] > 0` is a source,
+    /// `< 0` a sink; must sum to zero) at minimum cost.
+    ///
+    /// Returns `None` when some supply cannot reach a sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `supply.len() != num_nodes`, supplies do not sum to
+    /// zero, or any arc has negative cost (use
+    /// [`MinCostFlow::solve_with_potentials`] for those).
+    pub fn solve(&mut self, supply: &[i64]) -> Option<FlowResult> {
+        assert!(
+            self.cost.iter().step_by(2).all(|&c| c >= 0),
+            "negative arc costs need solve_with_potentials"
+        );
+        self.solve_with_potentials(supply, None)
+    }
+
+    /// Like [`MinCostFlow::solve`], but starts from caller-provided node
+    /// potentials — required when arcs have negative costs. The
+    /// potentials must make every reduced cost
+    /// `cost(u,v) + π(u) − π(v)` non-negative (e.g. distances from a
+    /// Bellman–Ford feasibility pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch, unbalanced supplies, or potentials
+    /// that leave a negative reduced cost.
+    pub fn solve_with_potentials(
+        &mut self,
+        supply: &[i64],
+        initial: Option<&[i64]>,
+    ) -> Option<FlowResult> {
+        assert_eq!(supply.len(), self.num_nodes);
+        assert_eq!(supply.iter().sum::<i64>(), 0, "supplies must balance");
+        let n = self.num_nodes;
+        let mut excess: Vec<i64> = supply.to_vec();
+        let mut potential = match initial {
+            Some(p) => {
+                assert_eq!(p.len(), n);
+                p.to_vec()
+            }
+            None => vec![0i64; n],
+        };
+        for k in 0..self.to.len() / 2 {
+            let a = 2 * k;
+            let u = self.to[a ^ 1];
+            let v = self.to[a];
+            assert!(
+                self.cost[a] + potential[u] - potential[v] >= 0,
+                "initial potentials leave a negative reduced cost on arc {k}"
+            );
+        }
+        let mut total_cost = 0i64;
+
+        loop {
+            let Some(source) = (0..n).find(|&v| excess[v] > 0) else {
+                break;
+            };
+            // Dijkstra on reduced costs from `source`.
+            let mut dist = vec![INF; n];
+            let mut prev_arc = vec![usize::MAX; n];
+            let mut heap = BinaryHeap::new();
+            dist[source] = 0;
+            heap.push(Reverse((0i64, source)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                for &a in &self.adj[u] {
+                    if self.cap[a] <= 0 {
+                        continue;
+                    }
+                    let v = self.to[a];
+                    let rc = self.cost[a] + potential[u] - potential[v];
+                    debug_assert!(rc >= 0, "reduced cost must stay non-negative");
+                    let nd = d + rc;
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        prev_arc[v] = a;
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+            // Pick the nearest reachable deficit node.
+            let sink = (0..n)
+                .filter(|&v| excess[v] < 0 && dist[v] < INF)
+                .min_by_key(|&v| dist[v])?;
+            // Update potentials, capping at the sink distance so the
+            // reduced-cost invariant also holds on arcs into nodes the
+            // search did not settle this round.
+            let d_sink = dist[sink];
+            for v in 0..n {
+                potential[v] += dist[v].min(d_sink);
+            }
+            // Bottleneck along the path.
+            let mut push = excess[source].min(-excess[sink]);
+            let mut v = sink;
+            while v != source {
+                let a = prev_arc[v];
+                push = push.min(self.cap[a]);
+                v = self.to[a ^ 1];
+            }
+            // Apply.
+            let mut v = sink;
+            while v != source {
+                let a = prev_arc[v];
+                self.cap[a] -= push;
+                self.cap[a ^ 1] += push;
+                total_cost += push * self.cost[a];
+                v = self.to[a ^ 1];
+            }
+            excess[source] -= push;
+            excess[sink] += push;
+        }
+
+        let flows = (0..self.to.len() / 2).map(|k| self.cap[2 * k + 1]).collect();
+        Some(FlowResult {
+            cost: total_cost,
+            flows,
+            potentials: potential,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_simple_chain() {
+        let mut mcf = MinCostFlow::new(3);
+        mcf.add_arc(0, 1, 10, 2);
+        mcf.add_arc(1, 2, 10, 3);
+        let res = mcf.solve(&[4, 0, -4]).unwrap();
+        assert_eq!(res.cost, 4 * 5);
+        assert_eq!(res.flows, vec![4, 4]);
+    }
+
+    #[test]
+    fn prefers_cheaper_path() {
+        let mut mcf = MinCostFlow::new(4);
+        let a = mcf.add_arc(0, 1, 10, 1);
+        let b = mcf.add_arc(1, 3, 10, 1);
+        let c = mcf.add_arc(0, 2, 10, 5);
+        let d = mcf.add_arc(2, 3, 10, 5);
+        let res = mcf.solve(&[3, 0, 0, -3]).unwrap();
+        assert_eq!(res.cost, 6);
+        assert_eq!(res.flows[a], 3);
+        assert_eq!(res.flows[b], 3);
+        assert_eq!(res.flows[c], 0);
+        assert_eq!(res.flows[d], 0);
+    }
+
+    #[test]
+    fn splits_on_capacity() {
+        let mut mcf = MinCostFlow::new(4);
+        mcf.add_arc(0, 1, 2, 1);
+        mcf.add_arc(1, 3, 2, 1);
+        mcf.add_arc(0, 2, 10, 5);
+        mcf.add_arc(2, 3, 10, 5);
+        let res = mcf.solve(&[3, 0, 0, -3]).unwrap();
+        // 2 units on the cheap path (cost 4), 1 on the expensive (10).
+        assert_eq!(res.cost, 14);
+    }
+
+    #[test]
+    fn unroutable_returns_none() {
+        let mut mcf = MinCostFlow::new(3);
+        mcf.add_arc(0, 1, 10, 1); // node 2 unreachable
+        assert!(mcf.solve(&[2, 0, -2]).is_none());
+    }
+
+    #[test]
+    fn multiple_sources_and_sinks() {
+        let mut mcf = MinCostFlow::new(5);
+        mcf.add_arc(0, 2, 10, 1);
+        mcf.add_arc(1, 2, 10, 2);
+        mcf.add_arc(2, 3, 10, 1);
+        mcf.add_arc(2, 4, 10, 3);
+        let res = mcf.solve(&[2, 2, 0, -3, -1]).unwrap();
+        // 0->2 (2 units, cost 2), 1->2 (2 units, cost 4),
+        // 2->3 (3, cost 3), 2->4 (1, cost 3): total 12.
+        assert_eq!(res.cost, 12);
+    }
+
+    #[test]
+    fn residual_optimality_certificate() {
+        let mut mcf = MinCostFlow::new(4);
+        mcf.add_arc(0, 1, 5, 2);
+        mcf.add_arc(0, 2, 5, 1);
+        mcf.add_arc(1, 3, 5, 1);
+        mcf.add_arc(2, 3, 5, 3);
+        let res = mcf.solve(&[4, 0, 0, -4]).unwrap();
+        // Check reduced-cost optimality on every residual arc.
+        for a in 0..mcf.to.len() {
+            if mcf.cap[a] > 0 {
+                let u = mcf.to[a ^ 1];
+                let v = mcf.to[a];
+                assert!(
+                    mcf.cost[a] + res.potentials[u] - res.potentials[v] >= 0,
+                    "arc {a} violates optimality"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "balance")]
+    fn unbalanced_supplies_panic() {
+        MinCostFlow::new(2).solve(&[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "solve_with_potentials")]
+    fn negative_cost_needs_potentials() {
+        let mut mcf = MinCostFlow::new(2);
+        mcf.add_arc(0, 1, 1, -1);
+        mcf.solve(&[1, -1]);
+    }
+
+    #[test]
+    fn negative_costs_with_potentials() {
+        // 0 -> 1 cost -2: with potentials pi = [0, -2] the reduced cost
+        // is 0; the flow routes and reports the true (negative) cost.
+        let mut mcf = MinCostFlow::new(2);
+        mcf.add_arc(0, 1, 5, -2);
+        let res = mcf.solve_with_potentials(&[3, -3], Some(&[0, -2])).unwrap();
+        assert_eq!(res.cost, -6);
+        assert_eq!(res.flows, vec![3]);
+    }
+}

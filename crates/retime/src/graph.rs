@@ -1,0 +1,548 @@
+//! The retiming graph of Leiserson and Saxe.
+//!
+//! A sequential circuit is modeled as a directed graph `G = (V, E)`
+//! whose vertices are the combinational gates (registers disappear into
+//! edge weights `w(e)` = number of registers on the signal) plus a
+//! *host* vertex representing the environment, with zero-weight edges
+//! host → PI and PO → host.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use netlist::{Circuit, DelayModel, GateId, GateKind};
+
+use crate::error::RetimeError;
+
+/// Identifier of a retiming-graph vertex. [`RetimeGraph::HOST`] is
+/// always vertex 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id from a dense index.
+    pub fn new(index: usize) -> Self {
+        VertexId(u32::try_from(index).expect("vertex index exceeds u32"))
+    }
+
+    /// The dense index of this vertex.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the host vertex.
+    pub fn is_host(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_host() {
+            write!(f, "host")
+        } else {
+            write!(f, "v{}", self.0)
+        }
+    }
+}
+
+/// Identifier of a retiming-graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32"))
+    }
+
+    /// The dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One edge of the retiming graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Tail (driver) vertex.
+    pub from: VertexId,
+    /// Head (sink) vertex.
+    pub to: VertexId,
+    /// Number of registers on the edge in the original circuit.
+    pub weight: u32,
+    /// For edges reconstructed into a netlist: the sink gate and its
+    /// fanin pin position, when the edge corresponds to a physical
+    /// connection (`None` for host edges).
+    pub sink_pin: Option<(GateId, usize)>,
+}
+
+/// A vertex label vector `r : V → ℤ` (number of registers moved from
+/// the fanouts of each vertex to its fanins). `r(host)` is pinned to 0.
+///
+/// # Examples
+///
+/// ```
+/// use retime::{Retiming, RetimeGraph};
+/// use netlist::{samples, DelayModel};
+/// let graph = RetimeGraph::from_circuit(&samples::s27_like(), &DelayModel::unit()).unwrap();
+/// let r = Retiming::zero(&graph);
+/// assert!(graph.check_nonnegative(&r).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Retiming {
+    values: Vec<i64>,
+}
+
+impl Retiming {
+    /// The identity retiming (no register moves).
+    pub fn zero(graph: &RetimeGraph) -> Self {
+        Self {
+            values: vec![0; graph.num_vertices()],
+        }
+    }
+
+    /// Builds a retiming from raw values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::WrongLength`] on a length mismatch and
+    /// [`RetimeError::Infeasible`] if `values[0]` (the host) is nonzero.
+    pub fn from_values(graph: &RetimeGraph, values: Vec<i64>) -> Result<Self, RetimeError> {
+        if values.len() != graph.num_vertices() {
+            return Err(RetimeError::WrongLength {
+                expected: graph.num_vertices(),
+                got: values.len(),
+            });
+        }
+        if values[0] != 0 {
+            return Err(RetimeError::Infeasible("host retiming must be 0".into()));
+        }
+        Ok(Self { values })
+    }
+
+    /// The label of one vertex.
+    pub fn get(&self, v: VertexId) -> i64 {
+        self.values[v.index()]
+    }
+
+    /// Sets the label of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is the host (its label is pinned to 0).
+    pub fn set(&mut self, v: VertexId, value: i64) {
+        assert!(!v.is_host(), "host retiming is pinned to 0");
+        self.values[v.index()] = value;
+    }
+
+    /// Adds `delta` to the label of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is the host.
+    pub fn add(&mut self, v: VertexId, delta: i64) {
+        assert!(!v.is_host(), "host retiming is pinned to 0");
+        self.values[v.index()] += delta;
+    }
+
+    /// The raw label vector (host first).
+    pub fn as_slice(&self) -> &[i64] {
+        &self.values
+    }
+}
+
+/// The retiming graph: vertices with delays, weighted edges, host at
+/// index 0, and the provenance needed to rebuild a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetimeGraph {
+    names: Vec<String>,
+    delays: Vec<u32>,
+    edges: Vec<Edge>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+    /// Netlist gate represented by each vertex (`None` for the host).
+    gate_of: Vec<Option<GateId>>,
+    /// Vertex representing each netlist gate (dense over gate ids;
+    /// registers map to `None`).
+    vertex_of: Vec<Option<VertexId>>,
+}
+
+impl RetimeGraph {
+    /// The host vertex (environment).
+    pub const HOST: VertexId = VertexId(0);
+
+    /// Builds the retiming graph of a circuit under a delay model.
+    ///
+    /// Registers are folded into edge weights: an edge is created from
+    /// the combinational driver of every (possibly register-delayed)
+    /// fanin of every combinational gate, weighted by the number of
+    /// registers traversed. Host edges host→PI and PO→host carry weight
+    /// 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::RegisterLoop`] if a cycle consists of
+    /// registers only.
+    pub fn from_circuit(circuit: &Circuit, delays: &DelayModel) -> Result<Self, RetimeError> {
+        // Resolve, for every register, its combinational driver and the
+        // length of the register chain leading to it.
+        let mut reg_source: HashMap<GateId, (GateId, u32)> = HashMap::new();
+        for &r in circuit.registers() {
+            let mut cur = circuit.gate(r).fanins()[0];
+            let mut count = 1u32;
+            let mut steps = 0usize;
+            while circuit.gate(cur).kind() == GateKind::Dff {
+                cur = circuit.gate(cur).fanins()[0];
+                count += 1;
+                steps += 1;
+                if steps > circuit.len() {
+                    return Err(RetimeError::RegisterLoop {
+                        witness: circuit.gate(r).name().to_string(),
+                    });
+                }
+            }
+            reg_source.insert(r, (cur, count));
+        }
+
+        let mut names = vec!["host".to_string()];
+        let mut delay_vec = vec![0u32];
+        let mut gate_of: Vec<Option<GateId>> = vec![None];
+        let mut vertex_of: Vec<Option<VertexId>> = vec![None; circuit.len()];
+        for (id, gate) in circuit.iter() {
+            if gate.kind() == GateKind::Dff {
+                continue;
+            }
+            let v = VertexId::new(names.len());
+            vertex_of[id.index()] = Some(v);
+            names.push(gate.name().to_string());
+            delay_vec.push(delays.delay(circuit, id));
+            gate_of.push(Some(id));
+        }
+
+        let mut edges = Vec::new();
+        for (id, gate) in circuit.iter() {
+            if gate.kind() == GateKind::Dff {
+                continue;
+            }
+            let to = vertex_of[id.index()].expect("combinational gate has a vertex");
+            for (pin, &fanin) in gate.fanins().iter().enumerate() {
+                let (driver, weight) = match circuit.gate(fanin).kind() {
+                    GateKind::Dff => {
+                        let (src, count) = reg_source[&fanin];
+                        (src, count)
+                    }
+                    _ => (fanin, 0),
+                };
+                let from = vertex_of[driver.index()].expect("driver is combinational");
+                edges.push(Edge {
+                    from,
+                    to,
+                    weight,
+                    sink_pin: Some((id, pin)),
+                });
+            }
+        }
+        for &pi in circuit.inputs() {
+            edges.push(Edge {
+                from: Self::HOST,
+                to: vertex_of[pi.index()].expect("input vertex"),
+                weight: 0,
+                sink_pin: None,
+            });
+        }
+        for &po in circuit.outputs() {
+            edges.push(Edge {
+                from: vertex_of[po.index()].expect("output vertex"),
+                to: Self::HOST,
+                weight: 0,
+                sink_pin: None,
+            });
+        }
+
+        let mut out_edges = vec![Vec::new(); names.len()];
+        let mut in_edges = vec![Vec::new(); names.len()];
+        for (i, e) in edges.iter().enumerate() {
+            out_edges[e.from.index()].push(EdgeId::new(i));
+            in_edges[e.to.index()].push(EdgeId::new(i));
+        }
+
+        Ok(Self {
+            names,
+            delays: delay_vec,
+            edges,
+            out_edges,
+            in_edges,
+            gate_of,
+            vertex_of,
+        })
+    }
+
+    /// Number of vertices including the host (`|V| + 1` in paper
+    /// terms).
+    pub fn num_vertices(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of edges including host edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total registers in the (un-retimed) graph.
+    pub fn total_registers(&self) -> u64 {
+        self.edges.iter().map(|e| e.weight as u64).sum()
+    }
+
+    /// The name of a vertex.
+    pub fn name(&self, v: VertexId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// The delay `d(v)` of a vertex (0 for the host).
+    pub fn delay(&self, v: VertexId) -> i64 {
+        self.delays[v.index()] as i64
+    }
+
+    /// An edge by id.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// All edges, in id order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Out-edges of a vertex.
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.out_edges[v.index()]
+    }
+
+    /// In-edges of a vertex.
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.in_edges[v.index()]
+    }
+
+    /// Iterates over non-host vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (1..self.num_vertices()).map(VertexId::new)
+    }
+
+    /// The netlist gate a vertex stands for (`None` for the host).
+    pub fn gate_of(&self, v: VertexId) -> Option<GateId> {
+        self.gate_of[v.index()]
+    }
+
+    /// The vertex standing for a netlist gate (`None` for registers).
+    pub fn vertex_of(&self, gate: GateId) -> Option<VertexId> {
+        self.vertex_of[gate.index()]
+    }
+
+    /// The retimed weight `w_r(e) = w(e) + r(head) − r(tail)`.
+    pub fn retimed_weight(&self, e: EdgeId, r: &Retiming) -> i64 {
+        let edge = &self.edges[e.index()];
+        edge.weight as i64 + r.get(edge.to) - r.get(edge.from)
+    }
+
+    /// Verifies constraint **P0**: every retimed edge weight is
+    /// non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::NegativeEdgeWeight`] naming the first
+    /// offending edge.
+    pub fn check_nonnegative(&self, r: &Retiming) -> Result<(), RetimeError> {
+        for i in 0..self.edges.len() {
+            let e = EdgeId::new(i);
+            let w = self.retimed_weight(e, r);
+            if w < 0 {
+                let edge = self.edge(e);
+                return Err(RetimeError::NegativeEdgeWeight {
+                    from: self.name(edge.from).to_string(),
+                    to: self.name(edge.to).to_string(),
+                    weight: w,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total registers after retiming, counted per edge (the count the
+    /// paper's eq. (5) uses).
+    pub fn retimed_registers(&self, r: &Retiming) -> i64 {
+        (0..self.edges.len())
+            .map(|i| self.retimed_weight(EdgeId::new(i), r))
+            .sum()
+    }
+
+    /// Total registers after retiming with fanout sharing: registers on
+    /// the fanout edges of one driver share a single chain, so the
+    /// physical cost of a vertex is the *maximum* weight among its
+    /// out-edges.
+    pub fn retimed_registers_shared(&self, r: &Retiming) -> i64 {
+        (0..self.num_vertices())
+            .map(|vi| {
+                self.out_edges[vi]
+                    .iter()
+                    .map(|&e| self.retimed_weight(e, r))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for RetimeGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retiming graph: {} vertices (+host), {} edges, {} registers",
+            self.num_vertices() - 1,
+            self.num_edges(),
+            self.total_registers()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{samples, CircuitBuilder};
+
+    fn s27_graph() -> (Circuit, RetimeGraph) {
+        let c = samples::s27_like();
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        (c, g)
+    }
+
+    #[test]
+    fn vertex_count_excludes_registers() {
+        let (c, g) = s27_graph();
+        assert_eq!(g.num_vertices(), c.num_combinational() + 1);
+    }
+
+    #[test]
+    fn register_weights_fold_into_edges() {
+        let (c, g) = s27_graph();
+        assert_eq!(g.total_registers() as usize, {
+            // each register is read by at least one gate; total weight
+            // counts per-reader, so it is >= #FF here. In s27_like each
+            // FF feeds exactly one edge except G7 (read once) — count
+            // exact edges:
+            c.registers()
+                .iter()
+                .map(|&r| c.fanouts(r).len())
+                .sum::<usize>()
+        });
+        // The edge G10 -> G5-reader(G11) carries weight 1 via FF G5.
+        let g10 = g.vertex_of(c.find("G10").unwrap()).unwrap();
+        let g11 = g.vertex_of(c.find("G11").unwrap()).unwrap();
+        let found = g
+            .edges()
+            .iter()
+            .any(|e| e.from == g10 && e.to == g11 && e.weight == 1);
+        assert!(found, "expected weighted edge G10 -> G11");
+    }
+
+    #[test]
+    fn host_edges_cover_io() {
+        let (c, g) = s27_graph();
+        let host_out = g.out_edges(RetimeGraph::HOST).len();
+        let host_in = g.in_edges(RetimeGraph::HOST).len();
+        assert_eq!(host_out, c.inputs().len());
+        assert_eq!(host_in, c.outputs().len());
+    }
+
+    #[test]
+    fn register_chain_collapses() {
+        let mut b = CircuitBuilder::new("chain");
+        b.input("a");
+        b.gate("x", netlist::GateKind::Not, &["a"]).unwrap();
+        b.dff("q1", "x").unwrap();
+        b.dff("q2", "q1").unwrap();
+        b.gate("y", netlist::GateKind::Not, &["q2"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.build().unwrap();
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let x = g.vertex_of(c.find("x").unwrap()).unwrap();
+        let y = g.vertex_of(c.find("y").unwrap()).unwrap();
+        let e = g.edges().iter().find(|e| e.from == x && e.to == y).unwrap();
+        assert_eq!(e.weight, 2, "two registers collapse into one edge");
+    }
+
+    #[test]
+    fn register_only_loop_rejected() {
+        let mut b = CircuitBuilder::new("regloop");
+        b.input("a");
+        b.dff("q1", "q2").unwrap();
+        b.dff("q2", "q1").unwrap();
+        b.gate("y", netlist::GateKind::And, &["a", "q1"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.build().unwrap();
+        let err = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap_err();
+        assert!(matches!(err, RetimeError::RegisterLoop { .. }));
+    }
+
+    #[test]
+    fn retimed_weight_formula() {
+        let (c, g) = s27_graph();
+        let mut r = Retiming::zero(&g);
+        let g10 = g.vertex_of(c.find("G10").unwrap()).unwrap();
+        let g11 = g.vertex_of(c.find("G11").unwrap()).unwrap();
+        let eid = (0..g.num_edges())
+            .map(EdgeId::new)
+            .find(|&e| g.edge(e).from == g10 && g.edge(e).to == g11)
+            .unwrap();
+        assert_eq!(g.retimed_weight(eid, &r), 1);
+        r.set(g11, -1);
+        assert_eq!(g.retimed_weight(eid, &r), 0);
+        r.set(g10, -1);
+        assert_eq!(g.retimed_weight(eid, &r), 1);
+    }
+
+    #[test]
+    fn check_nonnegative_detects_violation() {
+        let (c, g) = s27_graph();
+        let mut r = Retiming::zero(&g);
+        let g9 = g.vertex_of(c.find("G9").unwrap()).unwrap();
+        r.set(g9, -1); // G16 -> G9 edge has weight 0, becomes -1
+        assert!(g.check_nonnegative(&r).is_err());
+    }
+
+    #[test]
+    fn register_totals() {
+        let (_, g) = s27_graph();
+        let r = Retiming::zero(&g);
+        assert_eq!(g.retimed_registers(&r) as u64, g.total_registers());
+        assert!(g.retimed_registers_shared(&r) <= g.retimed_registers(&r));
+    }
+
+    #[test]
+    fn host_retiming_is_pinned() {
+        let (_, g) = s27_graph();
+        let r = Retiming::from_values(&g, vec![1; g.num_vertices()]);
+        assert!(r.is_err());
+        let mut ok = Retiming::zero(&g);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ok.set(RetimeGraph::HOST, 1);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn gate_vertex_round_trip() {
+        let (c, g) = s27_graph();
+        for v in g.vertices() {
+            let gate = g.gate_of(v).unwrap();
+            assert_eq!(g.vertex_of(gate), Some(v));
+            assert_eq!(g.name(v), c.gate(gate).name());
+        }
+        assert!(g.gate_of(RetimeGraph::HOST).is_none());
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let (_, g) = s27_graph();
+        assert!(g.to_string().contains("registers"));
+    }
+}

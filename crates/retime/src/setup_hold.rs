@@ -1,0 +1,316 @@
+//! Retiming under simultaneous setup **and** hold constraints — the
+//! `\[23\]` (Lin & Zhou, DAC'06) ingredient of the paper's §V
+//! initialization.
+//!
+//! The full Lin–Zhou algorithm is a research artifact of its own; this
+//! module implements a conservative joint-repair scheme that produces
+//! the two outcomes §V needs: either a retiming meeting both
+//! constraints at a minimized period `Φ_sh`, or a report of
+//! infeasibility (the paper observes genuine infeasibility on several
+//! circuits, caused by reconvergent paths). Our scheme may declare
+//! infeasibility for instances the exact algorithm could solve; that
+//! only switches §V to its documented fallback (`Φ_min` from plain
+//! min-period retiming and `R_min` = minimum gate delay), so the
+//! pipeline behaves exactly as the paper describes in both cases.
+//!
+//! Setup: every register-to-register combinational path ≤ `Φ − T_s`.
+//! Hold: every combinational path launched by a register has delay
+//! ≥ `T_h` (data must not race through before the capturing register's
+//! hold window closes).
+
+use crate::graph::{RetimeGraph, Retiming, VertexId};
+use crate::labels::{ElwParams, LrLabels};
+use crate::timing::{zero_weight_topo, ArrivalTimes};
+
+/// Result of [`min_period_setup_hold`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupHoldResult {
+    /// The minimized period `Φ_sh`.
+    pub phi: i64,
+    /// A retiming meeting setup at `phi` and hold at `t_hold`.
+    pub retiming: Retiming,
+}
+
+/// Attempts to find a retiming meeting setup at period `phi` and hold
+/// time `t_hold`. Conservative: `None` means "could not find", not a
+/// proof of infeasibility.
+pub fn feasible_setup_hold(
+    graph: &RetimeGraph,
+    phi: i64,
+    t_setup: i64,
+    t_hold: i64,
+) -> Option<Retiming> {
+    let mut r = Retiming::zero(graph);
+    let params = ElwParams { phi, t_setup, t_hold };
+    let budget = 4 * graph.num_vertices() + 16;
+    for _ in 0..budget {
+        let order = zero_weight_topo(graph, &r).ok()?;
+        let arrivals = ArrivalTimes::compute_with_order(graph, &r, &order);
+        if arrivals.clock_period() > phi - t_setup {
+            // FEAS step for setup.
+            let mut moved = false;
+            for v in graph.vertices() {
+                if arrivals.get(v) > phi - t_setup {
+                    r.add(v, 1);
+                    moved = true;
+                }
+            }
+            if !moved {
+                return None;
+            }
+            continue;
+        }
+        let labels = LrLabels::compute_with_order(graph, &r, params, &order);
+        match find_hold_violation(graph, &r, &labels, t_hold) {
+            Some((tail, head)) => {
+                // Two symmetric repairs: push the launching register
+                // backward over the tail (lengthens the path at its
+                // start), or push the terminating register forward
+                // (lengthens it at its end).
+                let mut attempt = r.clone();
+                if push_register_backward(graph, &mut attempt, tail) {
+                    r = attempt;
+                } else {
+                    let z = labels.rt(head);
+                    if !push_terminating_register_forward(graph, &mut r, z) {
+                        return None;
+                    }
+                }
+            }
+            None => {
+                // Fixpoint: verify everything before returning.
+                if graph.check_nonnegative(&r).is_ok() {
+                    return Some(r);
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Finds a hold violation and returns `(tail, head)` of the offending
+/// registered edge `(t, u)`.
+fn find_hold_violation(
+    graph: &RetimeGraph,
+    r: &Retiming,
+    labels: &LrLabels,
+    t_hold: i64,
+) -> Option<(VertexId, VertexId)> {
+    for (i, edge) in graph.edges().iter().enumerate() {
+        let e = crate::graph::EdgeId::new(i);
+        if edge.to.is_host() || graph.retimed_weight(e, r) <= 0 {
+            continue;
+        }
+        if let Some(sp) = labels.short_path(graph, edge.to) {
+            if sp < t_hold {
+                return Some((edge.from, edge.to));
+            }
+        }
+    }
+    None
+}
+
+/// Moves the register terminating the critical short path (sitting on
+/// an out-edge of `z`) one vertex forward: decreases `r(y)` for a
+/// registered edge `(z, y)` carrying exactly one register, together
+/// with the backward closure of `y` through zero-weight in-edges (to
+/// keep P0). Fails when the closure hits the host or when every
+/// registered out-edge of `z` carries more than one register (the
+/// multi-register case is handled by the full MinObsWin machinery, not
+/// this initialization helper).
+fn push_terminating_register_forward(
+    graph: &RetimeGraph,
+    r: &mut Retiming,
+    z: VertexId,
+) -> bool {
+    let Some(y) = graph.out_edges(z).iter().find_map(|&e| {
+        let edge = graph.edge(e);
+        (!edge.to.is_host() && graph.retimed_weight(e, r) == 1).then_some(edge.to)
+    }) else {
+        return false;
+    };
+    // Backward closure: decreasing r(y) drains its zero-weight
+    // in-edges, whose sources must decrease too.
+    let mut closure = vec![false; graph.num_vertices()];
+    let mut stack = vec![y];
+    closure[y.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &e in graph.in_edges(v) {
+            let edge = graph.edge(e);
+            if graph.retimed_weight(e, r) > 0 {
+                continue;
+            }
+            if edge.from.is_host() {
+                return false;
+            }
+            if !closure[edge.from.index()] {
+                closure[edge.from.index()] = true;
+                stack.push(edge.from);
+            }
+        }
+    }
+    for v in graph.vertices() {
+        if closure[v.index()] {
+            r.add(v, -1);
+        }
+    }
+    true
+}
+
+/// Moves a register backward over `tail` (and over the closure of
+/// vertices reachable from `tail` through zero-weight edges, to keep P0
+/// satisfied). Returns `false` when the closure hits the host — the
+/// register cannot be pushed out of the circuit.
+fn push_register_backward(graph: &RetimeGraph, r: &mut Retiming, tail: VertexId) -> bool {
+    if tail.is_host() {
+        return false;
+    }
+    let mut closure = vec![false; graph.num_vertices()];
+    let mut stack = vec![tail];
+    closure[tail.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &e in graph.out_edges(v) {
+            let edge = graph.edge(e);
+            if graph.retimed_weight(e, r) > 0 {
+                continue; // a register already separates us
+            }
+            if edge.to.is_host() {
+                return false; // would need to move a register past a PO
+            }
+            if !closure[edge.to.index()] {
+                closure[edge.to.index()] = true;
+                stack.push(edge.to);
+            }
+        }
+    }
+    for v in graph.vertices() {
+        if closure[v.index()] {
+            r.add(v, 1);
+        }
+    }
+    true
+}
+
+/// Verifies setup and hold of a retiming.
+pub fn meets_setup_hold(
+    graph: &RetimeGraph,
+    r: &Retiming,
+    phi: i64,
+    t_setup: i64,
+    t_hold: i64,
+) -> bool {
+    if graph.check_nonnegative(r).is_err() {
+        return false;
+    }
+    let Ok(order) = zero_weight_topo(graph, r) else {
+        return false;
+    };
+    let arrivals = ArrivalTimes::compute_with_order(graph, r, &order);
+    if arrivals.clock_period() > phi - t_setup {
+        return false;
+    }
+    let params = ElwParams { phi, t_setup, t_hold };
+    let labels = LrLabels::compute_with_order(graph, r, params, &order);
+    find_hold_violation(graph, r, &labels, t_hold).is_none()
+}
+
+/// Minimizes the clock period under setup and hold constraints
+/// (binary search over [`feasible_setup_hold`]). Returns `None` when no
+/// retiming is found even at a generous period — the paper's
+/// "no valid retiming under setup and hold" outcome.
+pub fn min_period_setup_hold(
+    graph: &RetimeGraph,
+    t_setup: i64,
+    t_hold: i64,
+) -> Option<SetupHoldResult> {
+    let max_delay: i64 = graph.vertices().map(|v| graph.delay(v)).max().unwrap_or(0);
+    let total_delay: i64 = graph.vertices().map(|v| graph.delay(v)).sum();
+    let hi_bound = (total_delay + t_setup).max(1);
+    let mut lo = (max_delay + t_setup).max(t_hold);
+    let mut hi = hi_bound;
+    // Establish an upper-bound solution first.
+    let mut best = feasible_setup_hold(graph, hi, t_setup, t_hold)
+        .map(|r| SetupHoldResult { phi: hi, retiming: r })?;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match feasible_setup_hold(graph, mid, t_setup, t_hold) {
+            Some(r) => {
+                best = SetupHoldResult { phi: mid, retiming: r };
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{samples, DelayModel};
+
+    #[test]
+    fn pipeline_meets_both_constraints() {
+        let c = samples::pipeline(9, 3);
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        // Unit delays, segments of 3: hold of 2 requires every launched
+        // path >= 2 — initial segments have short_path 3, fine.
+        let res = min_period_setup_hold(&g, 0, 2).expect("feasible");
+        assert!(meets_setup_hold(&g, &res.retiming, res.phi, 0, 2));
+        assert!(res.phi >= 3);
+    }
+
+    #[test]
+    fn hold_repair_moves_register() {
+        // A loop where one segment is a single unit-delay gate: hold=2
+        // violated initially; the repair must move a register.
+        let c = samples::two_stage_loop();
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let r0 = Retiming::zero(&g);
+        assert!(
+            !meets_setup_hold(&g, &r0, 20, 0, 2),
+            "initial placement should violate hold (g1 segment has delay 1)"
+        );
+        if let Some(res) = min_period_setup_hold(&g, 0, 2) {
+            assert!(meets_setup_hold(&g, &res.retiming, res.phi, 0, 2));
+        }
+        // (If the conservative solver reports None that is acceptable —
+        // the caller falls back per §V — but it should not return an
+        // invalid retiming.)
+    }
+
+    #[test]
+    fn impossible_hold_reports_none() {
+        // Hold time larger than the total loop delay can never be met.
+        let c = samples::pipeline(4, 4);
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        assert!(min_period_setup_hold(&g, 0, 100).is_none());
+    }
+
+    #[test]
+    fn setup_only_matches_min_period() {
+        let c = samples::pipeline(9, 3);
+        let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
+        let res = min_period_setup_hold(&g, 0, 0).expect("hold of 0 is free");
+        let mp = crate::minperiod::min_period(&g).unwrap();
+        assert_eq!(res.phi, mp.phi);
+    }
+
+    #[test]
+    fn generated_circuits_give_valid_results() {
+        for seed in 0..4 {
+            let c = netlist::generator::GeneratorConfig::new("sh", seed)
+                .gates(100)
+                .registers(20)
+                .build();
+            let g = RetimeGraph::from_circuit(&c, &DelayModel::default()).unwrap();
+            if let Some(res) = min_period_setup_hold(&g, 0, 2) {
+                assert!(
+                    meets_setup_hold(&g, &res.retiming, res.phi, 0, 2),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+}

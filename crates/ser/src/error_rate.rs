@@ -1,0 +1,155 @@
+//! Raw per-gate soft-error rates `err(g)`.
+//!
+//! The paper extracts these from SPICE characterization following
+//! Rao et al. (DATE'06, ref \[25\]). SPICE decks and the 65 nm models are
+//! not available here, so this module ships a documented **synthetic
+//! characterization** with the same structure: a raw SEU rate per gate
+//! kind (proportional to sensitive diffusion area, so wide/complex
+//! gates collect more strikes, inverters fewer), in arbitrary
+//! FIT-like units. Every SER figure the paper reports is *relative*
+//! (ΔSER, ratios), so any fixed positive characterization preserves
+//! the experiment semantics; see DESIGN.md §4.
+
+use netlist::{Circuit, GateId, GateKind};
+
+/// Synthetic per-kind raw soft-error-rate characterization.
+///
+/// # Examples
+///
+/// ```
+/// use ser_engine::ErrorRateModel;
+/// use netlist::GateKind;
+/// let m = ErrorRateModel::default();
+/// assert!(m.kind_rate(GateKind::Xor, 2) > m.kind_rate(GateKind::Not, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorRateModel {
+    rates: [f64; 14],
+    per_extra_fanin: f64,
+}
+
+fn kind_slot(kind: GateKind) -> usize {
+    match kind {
+        GateKind::Input => 0,
+        GateKind::Output => 1,
+        GateKind::Buf => 2,
+        GateKind::Not => 3,
+        GateKind::And => 4,
+        GateKind::Nand => 5,
+        GateKind::Or => 6,
+        GateKind::Nor => 7,
+        GateKind::Xor => 8,
+        GateKind::Xnor => 9,
+        GateKind::Mux => 10,
+        GateKind::Dff => 11,
+        GateKind::Const0 => 12,
+        GateKind::Const1 => 13,
+    }
+}
+
+impl Default for ErrorRateModel {
+    fn default() -> Self {
+        let mut rates = [0.0; 14];
+        // Arbitrary-but-consistent FIT-like units; relative magnitudes
+        // follow sensitive-area intuition (complex gates > inverters,
+        // registers comparable to a complex gate).
+        rates[kind_slot(GateKind::Buf)] = 1.6e-6;
+        rates[kind_slot(GateKind::Not)] = 1.0e-6;
+        rates[kind_slot(GateKind::And)] = 2.4e-6;
+        rates[kind_slot(GateKind::Nand)] = 2.0e-6;
+        rates[kind_slot(GateKind::Or)] = 2.4e-6;
+        rates[kind_slot(GateKind::Nor)] = 2.0e-6;
+        rates[kind_slot(GateKind::Xor)] = 3.6e-6;
+        rates[kind_slot(GateKind::Xnor)] = 3.6e-6;
+        rates[kind_slot(GateKind::Mux)] = 3.0e-6;
+        rates[kind_slot(GateKind::Dff)] = 2.8e-6;
+        Self {
+            rates,
+            per_extra_fanin: 0.4e-6,
+        }
+    }
+}
+
+impl ErrorRateModel {
+    /// The default synthetic characterization.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides one kind's raw rate (chainable).
+    pub fn with_kind_rate(mut self, kind: GateKind, rate: f64) -> Self {
+        self.rates[kind_slot(kind)] = rate;
+        self
+    }
+
+    /// Raw SEU rate of a gate of `kind` with `fanin_count` fanins.
+    /// I/O markers and constants are struck-immune (rate 0).
+    pub fn kind_rate(&self, kind: GateKind, fanin_count: usize) -> f64 {
+        let base = self.rates[kind_slot(kind)];
+        if base == 0.0 {
+            return 0.0;
+        }
+        base + fanin_count.saturating_sub(2) as f64 * self.per_extra_fanin
+    }
+
+    /// Raw rate of one gate of a circuit.
+    pub fn rate(&self, circuit: &Circuit, id: GateId) -> f64 {
+        let gate = circuit.gate(id);
+        self.kind_rate(gate.kind(), gate.fanins().len())
+    }
+
+    /// Rates of all gates, indexed by [`GateId`].
+    pub fn rates(&self, circuit: &Circuit) -> Vec<f64> {
+        circuit
+            .iter()
+            .map(|(_, g)| self.kind_rate(g.kind(), g.fanins().len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CircuitBuilder;
+
+    #[test]
+    fn markers_are_immune() {
+        let m = ErrorRateModel::default();
+        assert_eq!(m.kind_rate(GateKind::Input, 0), 0.0);
+        assert_eq!(m.kind_rate(GateKind::Output, 1), 0.0);
+        assert_eq!(m.kind_rate(GateKind::Const1, 0), 0.0);
+    }
+
+    #[test]
+    fn wider_gates_collect_more() {
+        let m = ErrorRateModel::default();
+        assert!(m.kind_rate(GateKind::And, 6) > m.kind_rate(GateKind::And, 2));
+    }
+
+    #[test]
+    fn registers_have_positive_rate() {
+        let m = ErrorRateModel::default();
+        assert!(m.kind_rate(GateKind::Dff, 1) > 0.0);
+    }
+
+    #[test]
+    fn per_circuit_rates() {
+        let mut b = CircuitBuilder::new("r");
+        b.input("a");
+        b.gate("x", GateKind::Nand, &["a", "a"]).unwrap();
+        b.dff("q", "x").unwrap();
+        b.output("x").unwrap();
+        let c = b.build().unwrap();
+        let m = ErrorRateModel::default();
+        let rates = m.rates(&c);
+        assert_eq!(rates.len(), c.len());
+        assert_eq!(rates[c.find("a").unwrap().index()], 0.0);
+        assert!(rates[c.find("q").unwrap().index()] > 0.0);
+    }
+
+    #[test]
+    fn override_chains() {
+        let m = ErrorRateModel::default().with_kind_rate(GateKind::Not, 9.0);
+        assert_eq!(m.kind_rate(GateKind::Not, 1), 9.0);
+    }
+}

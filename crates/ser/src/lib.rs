@@ -1,0 +1,49 @@
+//! # ser_engine — soft error rate analysis for sequential circuits
+//!
+//! Substrate crate of the **minobswin** suite (a reproduction of
+//! Lu & Zhou, *Retiming for Soft Error Minimization Under Error-Latching
+//! Window Constraints*, DATE 2013). It implements the paper's §II SER
+//! model end to end:
+//!
+//! * [`Signature`] and [`sim::FrameTrace`]: bit-parallel logic
+//!   simulation with time-frame expansion (refs \[11\], \[17\], \[21\]),
+//! * [`odc::Observability`]: ODC-mask observabilities `obs(g, n)` with
+//!   an exact fault-injection validator,
+//! * [`IntervalSet`] and [`elw::compute_elws`]: exact error-latching
+//!   windows, eq. (3) (ref \[15\]),
+//! * [`ErrorRateModel`]: raw per-gate rates `err(g)` (synthetic
+//!   SPICE-characterization stand-in for ref \[25\]; see DESIGN.md),
+//! * [`analyze`]: the full SER of a sequential circuit, eq. (4).
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::samples;
+//! use ser_engine::{analyze, SerConfig};
+//! # fn main() -> Result<(), retime::RetimeError> {
+//! let circuit = samples::s27_like();
+//! let report = analyze(&circuit, &SerConfig::small(20))?;
+//! println!("SER = {:.3e}", report.ser);
+//! assert!(report.ser > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+pub mod elw;
+pub mod equiv;
+mod error_rate;
+pub mod odc;
+mod signature;
+pub mod sim;
+
+pub use analysis::{
+    analyze, analyze_with_observability, register_driver, vertex_observabilities, SerConfig,
+    SerReport,
+};
+pub use elw::IntervalSet;
+pub use error_rate::ErrorRateModel;
+pub use signature::{eval_gate, Signature};

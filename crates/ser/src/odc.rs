@@ -1,0 +1,372 @@
+//! Observability don't-care (ODC) masks and gate observabilities over
+//! the time-frame expanded circuit — the logic-masking half of the SER
+//! model (paper §II.A–B, following refs \[11\], \[17\], \[21\]).
+//!
+//! `obs(g) = |O(g)| / K`, where `O(g)` marks the simulation vectors in
+//! which flipping `g`'s output would be visible at a primary output of
+//! any recorded frame or at a register input of the last frame.
+//!
+//! The masks are computed by the standard backward composition: a
+//! gate's ODC is the union over its fanouts of the fanout's ODC ANDed
+//! with the fanout's *sensitivity* to the gate (re-evaluation with the
+//! gate's signature flipped). Reconvergent fanout makes this an
+//! approximation; [`exact_fault_injection`] provides the exact
+//! (quadratic-cost) reference used to validate it in tests.
+
+use netlist::{Circuit, GateId, GateKind};
+
+use crate::signature::{eval_gate, Signature};
+use crate::sim::{FrameTrace, SimConfig};
+
+/// Per-gate observabilities derived from a frame trace.
+#[derive(Debug, Clone)]
+pub struct Observability {
+    obs: Vec<f64>,
+    frame0_odc: Vec<Signature>,
+}
+
+impl Observability {
+    /// Computes observabilities from a simulated trace.
+    pub fn compute(circuit: &Circuit, trace: &FrameTrace) -> Self {
+        let bits = trace.config().num_vectors;
+        let frames = trace.frames();
+        let n = circuit.len();
+
+        // ODC masks of the current frame (being computed) and register
+        // ODCs of the next frame (already computed).
+        let mut next_reg_odc: Vec<Signature> =
+            vec![Signature::zeros(bits); circuit.registers().len()];
+        let mut frame_odc: Vec<Signature> = vec![Signature::zeros(bits); n];
+        let reg_index: Vec<Option<usize>> = {
+            let mut m = vec![None; n];
+            for (i, &r) in circuit.registers().iter().enumerate() {
+                m[r.index()] = Some(i);
+            }
+            m
+        };
+
+        for f in (0..frames).rev() {
+            for s in frame_odc.iter_mut() {
+                *s = Signature::zeros(bits);
+            }
+            // Primary-output markers are fully observable in every frame.
+            for &po in circuit.outputs() {
+                frame_odc[po.index()] = Signature::ones(bits);
+            }
+            // Backward pass over the combinational order.
+            for &g in circuit.topo_order().iter().rev() {
+                let mut acc = std::mem::replace(
+                    &mut frame_odc[g.index()],
+                    Signature::zeros(bits),
+                );
+                for &h in circuit.fanouts(g) {
+                    match circuit.gate(h).kind() {
+                        GateKind::Dff => {
+                            // The register captures g; its value matters
+                            // in the next frame (or unconditionally in
+                            // the last recorded frame).
+                            let ri = reg_index[h.index()].expect("register indexed");
+                            if f == frames - 1 {
+                                acc = Signature::ones(bits);
+                            } else {
+                                acc.or_assign(&next_reg_odc[ri]);
+                            }
+                        }
+                        _ => {
+                            let sens = sensitivity(circuit, trace, f, h, g);
+                            acc.or_assign(&frame_odc[h.index()].and(&sens));
+                        }
+                    }
+                }
+                frame_odc[g.index()] = acc;
+            }
+            // Register outputs act as frame sources; record their ODCs
+            // for the previous (earlier) frame's pass.
+            for (_ri, &q) in circuit.registers().iter().enumerate() {
+                let mut acc = Signature::zeros(bits);
+                for &h in circuit.fanouts(q) {
+                    match circuit.gate(h).kind() {
+                        GateKind::Dff => {
+                            let rj = reg_index[h.index()].expect("register indexed");
+                            if f == frames - 1 {
+                                acc = Signature::ones(bits);
+                            } else {
+                                acc.or_assign(&next_reg_odc[rj].clone());
+                            }
+                        }
+                        _ => {
+                            let sens = sensitivity(circuit, trace, f, h, q);
+                            acc.or_assign(&frame_odc[h.index()].and(&sens));
+                        }
+                    }
+                }
+                frame_odc[q.index()] = acc;
+            }
+            next_reg_odc = circuit
+                .registers()
+                .iter()
+                .map(|&q| frame_odc[q.index()].clone())
+                .collect();
+        }
+
+        let obs = frame_odc.iter().map(|s| s.density()).collect();
+        Self {
+            obs,
+            frame0_odc: frame_odc,
+        }
+    }
+
+    /// `obs(g)`: fraction of vectors in which `g` is observable,
+    /// evaluated for the frame-0 copy of the gate.
+    pub fn obs(&self, gate: GateId) -> f64 {
+        self.obs[gate.index()]
+    }
+
+    /// The frame-0 ODC mask of a gate.
+    pub fn odc_mask(&self, gate: GateId) -> &Signature {
+        &self.frame0_odc[gate.index()]
+    }
+
+    /// All observabilities, indexed by gate.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.obs
+    }
+}
+
+/// Sensitivity of gate `h` (at `frame`) to its fanin *signal* `g`:
+/// bit `k` is set when flipping `g` in vector `k` flips `h`'s output.
+/// All occurrences of `g` among `h`'s pins flip together.
+fn sensitivity(
+    circuit: &Circuit,
+    trace: &FrameTrace,
+    frame: usize,
+    h: GateId,
+    g: GateId,
+) -> Signature {
+    let gate = circuit.gate(h);
+    let bits = trace.config().num_vectors;
+    let flipped = trace.value(frame, g).not();
+    let fanins: Vec<&Signature> = gate
+        .fanins()
+        .iter()
+        .map(|&f| {
+            if f == g {
+                &flipped
+            } else {
+                trace.value(frame, f)
+            }
+        })
+        .collect();
+    let faulty = eval_gate(gate.kind(), &fanins, bits);
+    faulty.xor(trace.value(frame, h))
+}
+
+/// Exact observability by per-gate fault injection: flips the gate's
+/// output in frame 0 and fully resimulates the `n`-frame window,
+/// recording the vectors in which any primary output of any frame (or
+/// any register input of the last frame) differs. Quadratic cost —
+/// intended for validation on small circuits.
+pub fn exact_fault_injection(circuit: &Circuit, config: SimConfig) -> Vec<f64> {
+    let trace = FrameTrace::simulate(circuit, config);
+    let bits = config.num_vectors;
+    let frames = config.frames;
+    let n = circuit.len();
+    let mut result = vec![0.0; n];
+
+    for (victim, vgate) in circuit.iter() {
+        if vgate.kind() == GateKind::Output {
+            result[victim.index()] = 1.0;
+            continue;
+        }
+        // Faulty values per frame; start as copies of the nominal trace.
+        let mut detected = Signature::zeros(bits);
+        let mut faulty: Vec<Signature> = (0..n)
+            .map(|i| trace.value(0, GateId::new(i)).clone())
+            .collect();
+        // Inject at frame 0.
+        faulty[victim.index()] = faulty[victim.index()].not();
+        for f in 0..frames {
+            if f > 0 {
+                // Register outputs take the previous faulty frame's D.
+                let prev = faulty.clone();
+                for (i, _) in circuit.iter() {
+                    faulty[i.index()] = trace.value(f, i).clone();
+                }
+                for &q in circuit.registers() {
+                    let d = circuit.gate(q).fanins()[0];
+                    faulty[q.index()] = prev[d.index()].clone();
+                }
+            }
+            // Re-evaluate combinational logic (inputs keep nominal
+            // values; the injected gate keeps its flip only in frame 0).
+            for &g in circuit.topo_order() {
+                let gate = circuit.gate(g);
+                if gate.kind() == GateKind::Input {
+                    continue;
+                }
+                let fanins: Vec<&Signature> = gate
+                    .fanins()
+                    .iter()
+                    .map(|&x| &faulty[x.index()])
+                    .collect();
+                let mut value = eval_gate(gate.kind(), &fanins, bits);
+                if f == 0 && g == victim {
+                    value = value.not();
+                }
+                faulty[g.index()] = value;
+            }
+            for &po in circuit.outputs() {
+                detected.or_assign(&faulty[po.index()].xor(trace.value(f, po)));
+            }
+            if f == frames - 1 {
+                for &q in circuit.registers() {
+                    let d = circuit.gate(q).fanins()[0];
+                    detected.or_assign(&faulty[d.index()].xor(trace.value(f, d)));
+                }
+            }
+        }
+        result[victim.index()] = detected.density();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{samples, CircuitBuilder};
+
+    #[test]
+    fn po_drivers_fully_observable() {
+        let mut b = CircuitBuilder::new("chain");
+        b.input("a");
+        b.gate("x", GateKind::Not, &["a"]).unwrap();
+        b.gate("y", GateKind::Buf, &["x"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.build().unwrap();
+        let t = FrameTrace::simulate(&c, SimConfig::small());
+        let o = Observability::compute(&c, &t);
+        assert_eq!(o.obs(c.find("y").unwrap()), 1.0);
+        assert_eq!(o.obs(c.find("x").unwrap()), 1.0, "buffers pass everything");
+        assert_eq!(o.obs(c.find("a").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn and_gate_masks_when_sibling_is_zero() {
+        let mut b = CircuitBuilder::new("mask");
+        b.input("a");
+        b.constant("zero", false).unwrap();
+        b.gate("x", GateKind::And, &["a", "zero"]).unwrap();
+        b.output("x").unwrap();
+        let c = b.build().unwrap();
+        let t = FrameTrace::simulate(&c, SimConfig::small());
+        let o = Observability::compute(&c, &t);
+        assert_eq!(o.obs(c.find("a").unwrap()), 0.0, "AND with 0 masks a");
+        // Flipping the constant to 1 makes the AND transparent to `a`,
+        // so the constant is observable exactly when a = 1 (≈ half the
+        // vectors).
+        let zero_obs = o.obs(c.find("zero").unwrap());
+        assert!((0.4..0.6).contains(&zero_obs), "got {zero_obs}");
+    }
+
+    #[test]
+    fn xor_gates_never_mask() {
+        let mut b = CircuitBuilder::new("xor");
+        b.input("a");
+        b.input("bb");
+        b.gate("x", GateKind::Xor, &["a", "bb"]).unwrap();
+        b.output("x").unwrap();
+        let c = b.build().unwrap();
+        let t = FrameTrace::simulate(&c, SimConfig::small());
+        let o = Observability::compute(&c, &t);
+        assert_eq!(o.obs(c.find("a").unwrap()), 1.0);
+        assert_eq!(o.obs(c.find("bb").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn matches_exact_on_tree_circuit() {
+        // Fanout-free cone: the composition rule is exact.
+        let mut b = CircuitBuilder::new("tree");
+        b.input("a");
+        b.input("b2");
+        b.input("c2");
+        b.input("d2");
+        b.gate("x", GateKind::And, &["a", "b2"]).unwrap();
+        b.gate("y", GateKind::Or, &["c2", "d2"]).unwrap();
+        b.gate("z", GateKind::Nand, &["x", "y"]).unwrap();
+        b.output("z").unwrap();
+        let c = b.build().unwrap();
+        let cfg = SimConfig::small();
+        let t = FrameTrace::simulate(&c, cfg);
+        let o = Observability::compute(&c, &t);
+        let exact = exact_fault_injection(&c, cfg);
+        for (id, gate) in c.iter() {
+            if gate.kind() == GateKind::Output {
+                continue;
+            }
+            assert!(
+                (o.obs(id) - exact[id.index()]).abs() < 1e-12,
+                "{}: approx {} vs exact {}",
+                gate.name(),
+                o.obs(id),
+                exact[id.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn close_to_exact_on_sequential_circuit() {
+        let c = samples::s27_like();
+        let cfg = SimConfig::small();
+        let t = FrameTrace::simulate(&c, cfg);
+        let o = Observability::compute(&c, &t);
+        let exact = exact_fault_injection(&c, cfg);
+        for (id, gate) in c.iter() {
+            if gate.kind() == GateKind::Output {
+                continue;
+            }
+            let diff = (o.obs(id) - exact[id.index()]).abs();
+            assert!(
+                diff <= 0.35,
+                "{}: approx {} vs exact {} (reconvergence error too large)",
+                gate.name(),
+                o.obs(id),
+                exact[id.index()]
+            );
+        }
+        // And on average they should be close.
+        let avg_diff: f64 = c
+            .iter()
+            .map(|(id, _)| (o.obs(id) - exact[id.index()]).abs())
+            .sum::<f64>()
+            / c.len() as f64;
+        assert!(avg_diff < 0.12, "average deviation {avg_diff}");
+    }
+
+    #[test]
+    fn single_frame_makes_register_drivers_observable() {
+        // With n = 1 every register input is an observation point, so
+        // every register's driving gate is fully observable.
+        let c = samples::s27_like();
+        let o = Observability::compute(
+            &c,
+            &FrameTrace::simulate(&c, SimConfig { frames: 1, ..SimConfig::small() }),
+        );
+        for &q in c.registers() {
+            let d = c.gate(q).fanins()[0];
+            assert_eq!(o.obs(d), 1.0, "driver of {}", c.gate(q).name());
+        }
+    }
+
+    #[test]
+    fn dead_gate_has_zero_observability() {
+        let mut b = CircuitBuilder::new("dead");
+        b.input("a");
+        b.gate("x", GateKind::Not, &["a"]).unwrap();
+        b.gate("dead", GateKind::Not, &["a"]).unwrap();
+        b.output("x").unwrap();
+        let c = b.build().unwrap();
+        let t = FrameTrace::simulate(&c, SimConfig::small());
+        let o = Observability::compute(&c, &t);
+        assert_eq!(o.obs(c.find("dead").unwrap()), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Bit-parallel signal signatures: `K` simulation vectors packed into
+//! `u64` words, the representation behind the signature-based SER
+//! analysis of Krishnaswamy et al. (refs \[11\], \[21\] of the paper).
+
+use netlist::rng::Xoshiro256;
+use netlist::GateKind;
+use std::fmt;
+
+/// A packed vector of `K` simulation bits.
+///
+/// # Examples
+///
+/// ```
+/// use ser_engine::Signature;
+/// let a = Signature::ones(128);
+/// let b = Signature::zeros(128);
+/// assert_eq!(a.count_ones(), 128);
+/// assert_eq!(a.and(&b).count_ones(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl Signature {
+    /// All-zero signature of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a positive multiple of 64 (keeping every
+    /// word fully populated removes all masking corner cases).
+    pub fn zeros(bits: usize) -> Self {
+        assert!(bits > 0 && bits % 64 == 0, "bits must be a positive multiple of 64");
+        Self {
+            words: vec![0; bits / 64],
+            bits,
+        }
+    }
+
+    /// All-one signature.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Signature::zeros`].
+    pub fn ones(bits: usize) -> Self {
+        assert!(bits > 0 && bits % 64 == 0, "bits must be a positive multiple of 64");
+        Self {
+            words: vec![u64::MAX; bits / 64],
+            bits,
+        }
+    }
+
+    /// Uniformly random signature.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Signature::zeros`].
+    pub fn random(bits: usize, rng: &mut Xoshiro256) -> Self {
+        assert!(bits > 0 && bits % 64 == 0, "bits must be a positive multiple of 64");
+        Self {
+            words: (0..bits / 64).map(|_| rng.next_u64()).collect(),
+            bits,
+        }
+    }
+
+    /// Number of bits (`K`).
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether the signature has zero bits (never true for constructed
+    /// signatures; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Fraction of set bits.
+    pub fn density(&self) -> f64 {
+        self.count_ones() as f64 / self.bits as f64
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.bits);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.bits);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Self {
+        Self {
+            words: self.words.iter().map(|w| !w).collect(),
+            bits: self.bits,
+        }
+    }
+
+    /// In-place OR (the hot operation of ODC accumulation).
+    pub fn or_assign(&mut self, other: &Self) {
+        debug_assert_eq!(self.bits, other.bits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.bits, other.bits, "signature width mismatch");
+        Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            bits: self.bits,
+        }
+    }
+
+    /// Raw words (low bit of word 0 is vector 0).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig[{} bits, {} ones]", self.bits, self.count_ones())
+    }
+}
+
+/// Evaluates a gate function over fanin signatures.
+///
+/// # Panics
+///
+/// Panics if the fanin count is outside the gate kind's arity, or on a
+/// width mismatch.
+pub fn eval_gate(kind: GateKind, fanins: &[&Signature], bits: usize) -> Signature {
+    let (lo, hi) = kind.arity();
+    assert!(
+        fanins.len() >= lo && fanins.len() <= hi,
+        "{kind} got {} fanins",
+        fanins.len()
+    );
+    match kind {
+        GateKind::Input => Signature::zeros(bits),
+        GateKind::Const0 => Signature::zeros(bits),
+        GateKind::Const1 => Signature::ones(bits),
+        GateKind::Output | GateKind::Buf | GateKind::Dff => fanins[0].clone(),
+        GateKind::Not => fanins[0].not(),
+        GateKind::And => fold(fanins, bits, true, |a, b| a & b),
+        GateKind::Nand => fold(fanins, bits, true, |a, b| a & b).not(),
+        GateKind::Or => fold(fanins, bits, false, |a, b| a | b),
+        GateKind::Nor => fold(fanins, bits, false, |a, b| a | b).not(),
+        GateKind::Xor => fold(fanins, bits, false, |a, b| a ^ b),
+        GateKind::Xnor => fold(fanins, bits, false, |a, b| a ^ b).not(),
+        GateKind::Mux => {
+            let sel = fanins[0];
+            let a = fanins[1];
+            let b = fanins[2];
+            // sel ? b : a
+            sel.and(b).or(&sel.not().and(a))
+        }
+    }
+}
+
+fn fold(
+    fanins: &[&Signature],
+    bits: usize,
+    identity_ones: bool,
+    f: impl Fn(u64, u64) -> u64 + Copy,
+) -> Signature {
+    let mut acc = if identity_ones {
+        Signature::ones(bits)
+    } else {
+        Signature::zeros(bits)
+    };
+    for s in fanins {
+        assert_eq!(s.len(), bits, "signature width mismatch");
+        for (a, b) in acc.words.iter_mut().zip(&s.words) {
+            *a = f(*a, *b);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counting() {
+        assert_eq!(Signature::zeros(192).count_ones(), 0);
+        assert_eq!(Signature::ones(192).count_ones(), 192);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let s = Signature::random(1024, &mut rng);
+        let ones = s.count_ones();
+        assert!((384..640).contains(&ones), "density far from 1/2: {ones}");
+    }
+
+    #[test]
+    fn bit_addressing_round_trip() {
+        let mut s = Signature::zeros(128);
+        s.set_bit(0, true);
+        s.set_bit(64, true);
+        s.set_bit(127, true);
+        assert!(s.bit(0) && s.bit(64) && s.bit(127));
+        assert!(!s.bit(1) && !s.bit(65));
+        assert_eq!(s.count_ones(), 3);
+        s.set_bit(64, false);
+        assert!(!s.bit(64));
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let a = Signature::random(256, &mut rng);
+        let b = Signature::random(256, &mut rng);
+        assert_eq!(a.xor(&a).count_ones(), 0);
+        assert_eq!(a.and(&a), a);
+        assert_eq!(a.or(&a.not()).count_ones(), 256);
+        // De Morgan
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+    }
+
+    #[test]
+    fn eval_matches_bool_semantics() {
+        use GateKind::*;
+        let bits = 64;
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let sigs: Vec<Signature> = (0..3).map(|_| Signature::random(bits, &mut rng)).collect();
+        let refs: Vec<&Signature> = sigs.iter().collect();
+        for kind in [And, Nand, Or, Nor, Xor, Xnor, Mux] {
+            let out = eval_gate(kind, &refs, bits);
+            for i in 0..bits {
+                let ins: Vec<bool> = sigs.iter().map(|s| s.bit(i)).collect();
+                assert_eq!(out.bit(i), kind.eval_bool(&ins), "{kind} bit {i}");
+            }
+        }
+        let out = eval_gate(Not, &refs[..1], bits);
+        for i in 0..bits {
+            assert_eq!(out.bit(i), !sigs[0].bit(i));
+        }
+    }
+
+    #[test]
+    fn or_assign_accumulates() {
+        let mut acc = Signature::zeros(128);
+        let mut one = Signature::zeros(128);
+        one.set_bit(77, true);
+        acc.or_assign(&one);
+        assert!(acc.bit(77));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn non_word_width_panics() {
+        Signature::zeros(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let a = Signature::zeros(64);
+        let b = Signature::zeros(128);
+        let _ = a.and(&b);
+    }
+}

@@ -1,0 +1,240 @@
+//! Bit-parallel sequential logic simulation with time-frame expansion.
+//!
+//! The circuit is simulated for a warm-up period (to reach the "steady
+//! operational state" the paper mentions) and then for `n` recorded
+//! time frames. Registers carry their signature from frame to frame;
+//! within a frame they act as wires of the expanded circuit.
+
+use netlist::rng::Xoshiro256;
+use netlist::{Circuit, GateId, GateKind};
+
+use crate::signature::{eval_gate, Signature};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimConfig {
+    /// Number of random vectors `K` per frame (multiple of 64; the
+    /// paper's analyses use a few thousand).
+    pub num_vectors: usize,
+    /// Number of recorded time frames `n` (the paper uses 15).
+    pub frames: usize,
+    /// Warm-up cycles simulated before recording.
+    pub warmup: usize,
+    /// PRNG seed for inputs and the initial state.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            num_vectors: 2048,
+            frames: 15,
+            warmup: 16,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A light-weight configuration for unit tests.
+    pub fn small() -> Self {
+        Self {
+            num_vectors: 256,
+            frames: 6,
+            warmup: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The recorded signatures of an `n`-frame expanded simulation.
+///
+/// `value(frame, gate)` is the signature at the gate's output during
+/// that frame; register outputs hold the state captured at the end of
+/// the previous frame.
+#[derive(Debug, Clone)]
+pub struct FrameTrace {
+    config: SimConfig,
+    num_gates: usize,
+    /// `frames × gates` signatures, frame-major.
+    values: Vec<Signature>,
+}
+
+impl FrameTrace {
+    /// Simulates `circuit` under `config`.
+    pub fn simulate(circuit: &Circuit, config: SimConfig) -> Self {
+        let bits = config.num_vectors;
+        let mut rng = Xoshiro256::seed_from_u64(config.seed);
+        let n = circuit.len();
+
+        // Register state: random initial values, then warm up.
+        let mut state: Vec<Signature> = circuit
+            .registers()
+            .iter()
+            .map(|_| Signature::random(bits, &mut rng))
+            .collect();
+
+        let mut frame_values: Vec<Signature> = vec![Signature::zeros(bits); n];
+        for _ in 0..config.warmup {
+            step(circuit, bits, &mut rng, &mut state, &mut frame_values);
+        }
+
+        let mut values = Vec::with_capacity(config.frames * n);
+        for _ in 0..config.frames {
+            step(circuit, bits, &mut rng, &mut state, &mut frame_values);
+            values.extend(frame_values.iter().cloned());
+        }
+        Self {
+            config,
+            num_gates: n,
+            values,
+        }
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Signature of `gate` during `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame >= frames`.
+    pub fn value(&self, frame: usize, gate: GateId) -> &Signature {
+        assert!(frame < self.config.frames, "frame out of range");
+        &self.values[frame * self.num_gates + gate.index()]
+    }
+
+    /// Number of recorded frames.
+    pub fn frames(&self) -> usize {
+        self.config.frames
+    }
+
+    /// Signal activity of a gate: fraction of ones across all frames.
+    pub fn activity(&self, gate: GateId) -> f64 {
+        let total: u64 = (0..self.config.frames)
+            .map(|f| self.value(f, gate).count_ones() as u64)
+            .sum();
+        total as f64 / (self.config.frames * self.config.num_vectors) as f64
+    }
+}
+
+/// Advances the circuit by one clock cycle: fresh random inputs,
+/// combinational evaluation, register update.
+fn step(
+    circuit: &Circuit,
+    bits: usize,
+    rng: &mut Xoshiro256,
+    state: &mut [Signature],
+    values: &mut [Signature],
+) {
+    // Present register state first (consumed by combinational gates).
+    for (si, &reg) in circuit.registers().iter().enumerate() {
+        values[reg.index()] = state[si].clone();
+    }
+    for &pi in circuit.inputs() {
+        values[pi.index()] = Signature::random(bits, rng);
+    }
+    for &g in circuit.topo_order() {
+        let gate = circuit.gate(g);
+        match gate.kind() {
+            GateKind::Input => continue,
+            _ => {
+                let fanins: Vec<&Signature> =
+                    gate.fanins().iter().map(|&f| &values[f.index()]).collect();
+                values[g.index()] = eval_gate(gate.kind(), &fanins, bits);
+            }
+        }
+    }
+    // Capture next state.
+    for (si, &reg) in circuit.registers().iter().enumerate() {
+        let d = circuit.gate(reg).fanins()[0];
+        state[si] = values[d.index()].clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{samples, CircuitBuilder};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let c = samples::s27_like();
+        let a = FrameTrace::simulate(&c, SimConfig::small());
+        let b = FrameTrace::simulate(&c, SimConfig::small());
+        for f in 0..a.frames() {
+            for (id, _) in c.iter() {
+                assert_eq!(a.value(f, id), b.value(f, id));
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_consistency_within_frames() {
+        let c = samples::s27_like();
+        let t = FrameTrace::simulate(&c, SimConfig::small());
+        // Every gate's recorded signature equals its function applied to
+        // its fanins' recorded signatures (registers excepted).
+        for f in 0..t.frames() {
+            for (id, gate) in c.iter() {
+                if matches!(gate.kind(), GateKind::Input | GateKind::Dff) {
+                    continue;
+                }
+                let fanins: Vec<&Signature> =
+                    gate.fanins().iter().map(|&x| t.value(f, x)).collect();
+                let expect = eval_gate(gate.kind(), &fanins, t.config().num_vectors);
+                assert_eq!(t.value(f, id), &expect, "{} frame {f}", gate.name());
+            }
+        }
+    }
+
+    #[test]
+    fn registers_delay_by_one_frame() {
+        let c = samples::s27_like();
+        let t = FrameTrace::simulate(&c, SimConfig::small());
+        for f in 1..t.frames() {
+            for &reg in c.registers() {
+                let d = c.gate(reg).fanins()[0];
+                assert_eq!(
+                    t.value(f, reg),
+                    t.value(f - 1, d),
+                    "register {} at frame {f}",
+                    c.gate(reg).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constants_hold_their_value() {
+        let mut b = CircuitBuilder::new("c");
+        b.input("a");
+        b.constant("one", true).unwrap();
+        b.gate("x", GateKind::And, &["a", "one"]).unwrap();
+        b.output("x").unwrap();
+        let c = b.build().unwrap();
+        let t = FrameTrace::simulate(&c, SimConfig::small());
+        let one = c.find("one").unwrap();
+        for f in 0..t.frames() {
+            assert_eq!(t.value(f, one).count_ones() as usize, t.config().num_vectors);
+        }
+        // x equals a.
+        let a = c.find("a").unwrap();
+        let x = c.find("x").unwrap();
+        for f in 0..t.frames() {
+            assert_eq!(t.value(f, a), t.value(f, x));
+        }
+    }
+
+    #[test]
+    fn inputs_have_half_density() {
+        let c = samples::s27_like();
+        let t = FrameTrace::simulate(&c, SimConfig::default());
+        for &pi in c.inputs() {
+            let act = t.activity(pi);
+            assert!((0.45..0.55).contains(&act), "activity {act}");
+        }
+    }
+}

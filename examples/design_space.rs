@@ -1,0 +1,117 @@
+//! Design-space sweep (ablation): how the period slack `ε` and the
+//! ELW bound `R_min` steer the trade-off between register-observability
+//! reduction and SER — the knobs §V of the paper fixes at ε = 10% and
+//! `R_min` = the initial minimum short path.
+//!
+//! ```text
+//! cargo run -p minobswin-bench --release --example design_space
+//! ```
+
+use minobswin::algorithm::{solve, SolverConfig};
+use minobswin::init::{initialize, InitConfig};
+use minobswin::Problem;
+use netlist::generator::GeneratorConfig;
+use netlist::DelayModel;
+use retime::apply::apply_retiming;
+use retime::{ElwParams, RetimeGraph};
+use ser_engine::odc::Observability;
+use ser_engine::sim::{FrameTrace, SimConfig};
+use ser_engine::{analyze, vertex_observabilities, SerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = GeneratorConfig::new("design_space", 77)
+        .gates(800)
+        .registers(160)
+        .inputs(16)
+        .outputs(16)
+        .target_edges(1800)
+        .build();
+    let delays = DelayModel::default();
+    let graph = RetimeGraph::from_circuit(&circuit, &delays)?;
+    let sim = SimConfig {
+        num_vectors: 1024,
+        frames: 10,
+        warmup: 8,
+        seed: 0xC0FFEE,
+    };
+    let trace = FrameTrace::simulate(&circuit, sim);
+    let observability = Observability::compute(&circuit, &trace);
+    let vertex_obs = vertex_observabilities(&circuit, &graph, &observability);
+
+    println!("sweep over the period slack ε (R_min per §V):\n");
+    println!(
+        "{:>4} {:>6} {:>7} | {:>10} {:>10} {:>9} {:>6}",
+        "ε%", "Phi", "R_min", "SER orig", "SER new", "ΔSER", "#J"
+    );
+    for epsilon in [0u32, 5, 10, 20, 40] {
+        let init = initialize(
+            &graph,
+            InitConfig {
+                epsilon_percent: epsilon,
+                ..InitConfig::default()
+            },
+        )?;
+        let params = ElwParams::with_phi(init.phi);
+        let problem =
+            Problem::from_observabilities(&graph, &vertex_obs, sim.num_vectors, params, init.r_min);
+        let sol = solve(&graph, &problem, init.retiming.clone(), SolverConfig::default())?;
+        let ser_config = SerConfig {
+            sim,
+            delays: delays.clone(),
+            elw: params,
+            ..SerConfig::with_phi(init.phi)
+        };
+        let original = analyze(&circuit, &ser_config)?;
+        let rebuilt = apply_retiming(&circuit, &graph, &sol.retiming)?;
+        let after = analyze(&rebuilt, &ser_config)?;
+        println!(
+            "{:>4} {:>6} {:>7} | {:>10.3e} {:>10.3e} {:>+8.2}% {:>6}",
+            epsilon,
+            init.phi,
+            init.r_min,
+            original.ser,
+            after.ser,
+            (after.ser / original.ser - 1.0) * 100.0,
+            sol.stats.commits
+        );
+    }
+
+    println!("\nsweep over R_min at fixed ε = 10% (tighter = stronger ELW protection):\n");
+    let init = initialize(&graph, InitConfig::default())?;
+    let params = ElwParams::with_phi(init.phi);
+    let ser_config = SerConfig {
+        sim,
+        delays: delays.clone(),
+        elw: params,
+        ..SerConfig::with_phi(init.phi)
+    };
+    let original = analyze(&circuit, &ser_config)?;
+    println!(
+        "{:>7} | {:>10} {:>9} {:>9} {:>6}",
+        "R_min", "SER new", "ΔSER", "Δ#FF", "#J"
+    );
+    for r_min in [init.r_min, init.r_min + 2, init.r_min + 4, init.r_min + 8] {
+        let problem =
+            Problem::from_observabilities(&graph, &vertex_obs, sim.num_vectors, params, r_min);
+        // Raising R_min beyond the initial minimum short path can make
+        // the §V starting point infeasible; skip those points.
+        let sol = match solve(&graph, &problem, init.retiming.clone(), SolverConfig::default()) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{:>7} | (infeasible start: {e})", r_min);
+                continue;
+            }
+        };
+        let rebuilt = apply_retiming(&circuit, &graph, &sol.retiming)?;
+        let after = analyze(&rebuilt, &ser_config)?;
+        println!(
+            "{:>7} | {:>10.3e} {:>+8.2}% {:>+8.2}% {:>6}",
+            r_min,
+            after.ser,
+            (after.ser / original.ser - 1.0) * 100.0,
+            (rebuilt.num_registers() as f64 / circuit.num_registers() as f64 - 1.0) * 100.0,
+            sol.stats.commits
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Reproduces the paper's **Figure 1**: a register relocation that
+//! *reduces* total register observability (the MinObs objective — it
+//! even reduces the register count) while *enlarging* upstream
+//! error-latching windows enough to make the overall SER worse — the
+//! motivating example for the ELW-constrained formulation. The second
+//! half shows MinObs happily taking the move while MinObsWin's P2
+//! constraint refuses it.
+//!
+//! ```text
+//! cargo run -p minobswin-bench --example elw_tradeoff
+//! ```
+
+use minobswin::algorithm::{solve, SolverConfig};
+use minobswin::minobs::min_obs;
+use minobswin::Problem;
+use netlist::{samples, DelayModel};
+use retime::apply::apply_retiming;
+use retime::{ElwParams, LrLabels, RetimeGraph, Retiming};
+use ser_engine::elw::compute_elws;
+use ser_engine::odc::Observability;
+use ser_engine::sim::{FrameTrace, SimConfig};
+use ser_engine::{analyze, vertex_observabilities, SerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = samples::fig1_like();
+    let delays = DelayModel::default();
+    let graph = RetimeGraph::from_circuit(&circuit, &delays)?;
+
+    // The clock must admit the Fig. 1 move itself (the merged
+    // A-chain → F path must meet setup), but stay tight enough that
+    // timing masking matters: use the moved configuration's period.
+    let moved_r = {
+        let f = graph
+            .vertex_of(circuit.find("F").expect("gate F"))
+            .expect("vertex for F");
+        let mut r = Retiming::zero(&graph);
+        r.set(f, -1);
+        r
+    };
+    let phi = retime::timing::clock_period(&graph, &moved_r)?
+        .max(retime::timing::clock_period(&graph, &Retiming::zero(&graph))?);
+    let params = ElwParams::with_phi(phi);
+    let sim = SimConfig::default();
+    let config = SerConfig {
+        sim,
+        delays: delays.clone(),
+        elw: params,
+        ..SerConfig::with_phi(phi)
+    };
+
+    let before = analyze(&circuit, &config)?;
+
+    // Fig. 1's move: pull the registers qa/qb forward over F
+    // (r(F) = −1); they merge into a single register at F's output.
+    let f = graph
+        .vertex_of(circuit.find("F").expect("gate F"))
+        .expect("vertex for F");
+    let mut r = Retiming::zero(&graph);
+    r.set(f, -1);
+    graph.check_nonnegative(&r)?;
+    let moved = apply_retiming(&circuit, &graph, &r)?;
+    let after = analyze(&moved, &config)?;
+
+    println!("Figure 1 trade-off on `{}` (Phi = {phi}):\n", circuit.name());
+    println!("                          before      after r(F) = -1");
+    println!(
+        "registers                 {:>6}      {:>6}",
+        circuit.num_registers(),
+        moved.num_registers()
+    );
+    println!(
+        "register observability    {:>6.3}      {:>6.3}",
+        before.register_observability, after.register_observability
+    );
+    println!(
+        "SER (eq. 4)             {:>9.3e}   {:>9.3e}   ({:+.1}%)",
+        before.ser,
+        after.ser,
+        (after.ser / before.ser - 1.0) * 100.0
+    );
+
+    // Show the ELW growth of the upstream gates A and B.
+    let elws_before = compute_elws(&graph, &Retiming::zero(&graph), params)?;
+    let elws_after = compute_elws(&graph, &r, params)?;
+    println!("\nerror-latching windows at the upstream gates:");
+    for name in ["A", "B"] {
+        let v = graph
+            .vertex_of(circuit.find(name).expect("gate"))
+            .expect("vertex");
+        println!(
+            "  {name}: {} (|ELW| {})  ->  {} (|ELW| {})",
+            elws_before[v.index()],
+            elws_before[v.index()].total_length(),
+            elws_after[v.index()],
+            elws_after[v.index()].total_length()
+        );
+    }
+
+    let obs_down = after.register_observability < before.register_observability;
+    let ser_up = after.ser > before.ser;
+    println!(
+        "\nregister observability {}, overall SER {}{}",
+        if obs_down { "DECREASED" } else { "did not decrease" },
+        if ser_up { "INCREASED" } else { "did not increase" },
+        if obs_down && ser_up {
+            " — exactly the Fig. 1 trap."
+        } else {
+            ""
+        }
+    );
+
+    // Second act: MinObs walks into the trap, MinObsWin does not.
+    let trace = FrameTrace::simulate(&circuit, sim);
+    let observability = Observability::compute(&circuit, &trace);
+    let vertex_obs = vertex_observabilities(&circuit, &graph, &observability);
+    let r0 = Retiming::zero(&graph);
+    let labels = LrLabels::compute(&graph, &r0, params)?;
+    let r_min = labels.min_short_path(&graph, &r0).unwrap_or(1);
+    let problem = Problem::from_observabilities(&graph, &vertex_obs, sim.num_vectors, params, r_min);
+
+    let ref_sol = min_obs(&graph, &problem, r0.clone())?;
+    let win_sol = solve(&graph, &problem, r0, SolverConfig::default())?;
+    let ser_of = |retiming: &Retiming| -> Result<f64, Box<dyn std::error::Error>> {
+        let rebuilt = apply_retiming(&circuit, &graph, retiming)?;
+        Ok(analyze(&rebuilt, &config)?.ser)
+    };
+    println!("\noptimizers on this instance (R_min = {r_min}):");
+    println!(
+        "  MinObs   [17]: r(F) = {:>2}, SER {:>9.3e}",
+        ref_sol.retiming.get(f),
+        ser_of(&ref_sol.retiming)?
+    );
+    println!(
+        "  MinObsWin    : r(F) = {:>2}, SER {:>9.3e}  (P2 fixes: {}, freezes: {})",
+        win_sol.retiming.get(f),
+        ser_of(&win_sol.retiming)?,
+        win_sol.stats.p2_fixes,
+        win_sol.stats.freezes
+    );
+    Ok(())
+}

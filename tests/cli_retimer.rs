@@ -1,0 +1,103 @@
+//! End-to-end test of the `retimer` command line tool: write a
+//! netlist, run the binary, check the outputs it produces.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_retimer")
+}
+
+fn workdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("retimer_cli_{}_{}", std::process::id(), tag));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn retimer_round_trips_a_bench_file() {
+    let dir = workdir("bench");
+    let input = dir.join("demo.bench");
+    let output = dir.join("demo_retimed.bench");
+    let report = dir.join("report.csv");
+
+    let circuit = netlist::generator::GeneratorConfig::new("cli_demo", 31)
+        .gates(120)
+        .registers(24)
+        .build();
+    netlist::bench_format::write_file(&circuit, &input).expect("write input");
+
+    let status = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--out",
+            output.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+            "--vectors",
+            "256",
+            "--frames",
+            "6",
+        ])
+        .output()
+        .expect("run retimer");
+    assert!(
+        status.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&status.stdout),
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("minobswin"), "{stdout}");
+    assert!(stdout.contains("SER_ref / SER_new"), "{stdout}");
+
+    // The retimed netlist parses and has registers.
+    let rebuilt = netlist::bench_format::read_file(&output).expect("re-read output");
+    assert!(rebuilt.num_registers() > 0);
+
+    // The CSV report has a header and one row.
+    let csv = std::fs::read_to_string(&report).expect("read report");
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 2, "{csv}");
+    assert!(lines[0].starts_with("circuit,"));
+    assert!(lines[1].starts_with("demo"), "{csv}"); // circuit named from the file stem
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retimer_writes_verilog_output() {
+    let dir = workdir("verilog");
+    let input = dir.join("demo2.bench");
+    let output = dir.join("demo2.v");
+    let circuit = netlist::samples::pipeline(9, 3);
+    netlist::bench_format::write_file(&circuit, &input).expect("write input");
+
+    let status = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--method",
+            "minobswin",
+            "--out",
+            output.to_str().unwrap(),
+            "--vectors",
+            "256",
+            "--frames",
+            "6",
+            "--no-equiv",
+        ])
+        .output()
+        .expect("run retimer");
+    assert!(status.status.success());
+    let rebuilt = netlist::verilog::read_file(&output).expect("verilog parses back");
+    assert!(rebuilt.num_registers() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retimer_rejects_unknown_format() {
+    let status = Command::new(bin())
+        .arg("nonexistent.xyz")
+        .output()
+        .expect("run retimer");
+    assert!(!status.status.success());
+}

@@ -1,0 +1,168 @@
+//! Optimality cross-checks: the paper's incremental algorithm against
+//! the exact W/D-matrix + min-cost-flow reference, and against
+//! exhaustive enumeration on tiny instances (including the
+//! P2-constrained problem, where no convex reference exists).
+
+use minobswin::algorithm::{solve, SolverConfig};
+use minobswin::minobs::min_obs;
+use minobswin::verify::check_feasible;
+use minobswin::Problem;
+use netlist::generator::GeneratorConfig;
+use netlist::rng::Xoshiro256;
+use netlist::{samples, DelayModel};
+use retime::minarea_ref::{exhaustive_minimize, solve_exact};
+use retime::timing::clock_period;
+use retime::{ElwParams, LrLabels, RetimeGraph, Retiming, VertexId};
+
+fn objective(graph: &RetimeGraph, b: &[i64], r: &Retiming) -> i64 {
+    (1..graph.num_vertices())
+        .map(|v| b[v] * r.get(VertexId::new(v)))
+        .sum()
+}
+
+#[test]
+fn minobs_matches_exact_reference_on_many_circuits() {
+    for seed in 0..10u64 {
+        let circuit = GeneratorConfig::new("xc", seed)
+            .gates(60)
+            .registers(14)
+            .inputs(4)
+            .outputs(4)
+            .target_edges(130)
+            .build();
+        let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
+        let phi = clock_period(&graph, &Retiming::zero(&graph)).unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(seed * 31 + 5);
+        let counts: Vec<i64> = (0..graph.num_vertices())
+            .map(|i| if i == 0 { 128 } else { rng.gen_range(129) as i64 })
+            .collect();
+        let problem =
+            Problem::from_observability_counts(&graph, &counts, ElwParams::with_phi(phi), 1);
+        let sol = min_obs(&graph, &problem, Retiming::zero(&graph)).unwrap();
+        let exact = solve_exact(&graph, &problem.b, Some(phi)).unwrap();
+        assert_eq!(
+            objective(&graph, &problem.b, &sol.retiming),
+            exact.objective,
+            "seed {seed}: incremental MinObs must match the exact LP optimum"
+        );
+    }
+}
+
+#[test]
+fn minobswin_matches_exhaustive_on_tiny_circuits() {
+    // The P2-constrained problem is non-convex; exhaustively enumerate
+    // retimings in a box and compare. The solver is a monotone-descent
+    // method (the paper's), so we check (a) feasibility, (b) it never
+    // beats the true optimum, and (c) it reaches it on these instances.
+    let mut optimal_hits = 0;
+    let mut cases = 0;
+    for seed in 0..6u64 {
+        let circuit = GeneratorConfig::new("tiny", seed)
+            .gates(5)
+            .registers(3)
+            .inputs(1)
+            .outputs(1)
+            .target_edges(10)
+            .build();
+        let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::unit()).unwrap();
+        if graph.num_vertices() > 10 {
+            continue;
+        }
+        let r0 = Retiming::zero(&graph);
+        let phi = clock_period(&graph, &r0).unwrap() + 1;
+        let params = ElwParams::with_phi(phi);
+        let labels = LrLabels::compute(&graph, &r0, params).unwrap();
+        let Some(r_min) = labels.min_short_path(&graph, &r0) else {
+            continue;
+        };
+        let mut rng = Xoshiro256::seed_from_u64(seed + 1000);
+        let counts: Vec<i64> = (0..graph.num_vertices())
+            .map(|i| if i == 0 { 16 } else { rng.gen_range(17) as i64 })
+            .collect();
+        let problem = Problem::from_observability_counts(&graph, &counts, params, r_min);
+        let sol = solve(&graph, &problem, r0.clone(), SolverConfig::default()).unwrap();
+        assert!(check_feasible(&graph, &problem, &sol.retiming).is_ok(), "seed {seed}");
+
+        let brute = exhaustive_minimize(
+            &graph,
+            2,
+            |r| check_feasible(&graph, &problem, r).is_ok(),
+            |r| objective(&graph, &problem.b, r),
+        )
+        .expect("r = 0 is feasible");
+        let got = objective(&graph, &problem.b, &sol.retiming);
+        assert!(
+            got >= brute.1,
+            "seed {seed}: solver objective {got} beats the exhaustive optimum {} — impossible",
+            brute.1
+        );
+        cases += 1;
+        if got == brute.1 {
+            optimal_hits += 1;
+        }
+    }
+    assert!(cases >= 3, "need enough comparable cases, got {cases}");
+    // The paper claims optimality (Theorem 2, stated without proof),
+    // but the P2-constrained feasible set is non-convex and the greedy
+    // closed-set schedule can stop at a local optimum; with the
+    // bidirectional schedule we observe 5/6 global hits on these
+    // instances (see EXPERIMENTS.md, "optimality findings"). Guard the
+    // current quality level without overclaiming.
+    assert!(
+        optimal_hits + 1 >= cases,
+        "solver found the exhaustive optimum on only {optimal_hits}/{cases} tiny instances"
+    );
+}
+
+#[test]
+fn p2_never_binds_when_rmin_is_trivial() {
+    // With R_min = minimal gate delay (the paper's fallback), MinObsWin
+    // must behave exactly like MinObs (observed in the paper for
+    // s15850.1 etc.).
+    for seed in 0..4u64 {
+        let circuit = GeneratorConfig::new("triv", seed)
+            .gates(80)
+            .registers(16)
+            .build();
+        let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::unit()).unwrap();
+        let phi = clock_period(&graph, &Retiming::zero(&graph)).unwrap();
+        let counts = vec![1i64; graph.num_vertices()];
+        let problem =
+            Problem::from_observability_counts(&graph, &counts, ElwParams::with_phi(phi), 1);
+        let win = solve(&graph, &problem, Retiming::zero(&graph), SolverConfig::default()).unwrap();
+        let base = min_obs(&graph, &problem, Retiming::zero(&graph)).unwrap();
+        assert_eq!(
+            win.objective_gain, base.objective_gain,
+            "seed {seed}: with unit delays R_min = 1 never binds"
+        );
+    }
+}
+
+#[test]
+fn descent_is_monotone_and_final_state_stable() {
+    let circuit = samples::s27_like();
+    let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
+    let r0 = Retiming::zero(&graph);
+    let phi = clock_period(&graph, &r0).unwrap() + 3;
+    let params = ElwParams::with_phi(phi);
+    let labels = LrLabels::compute(&graph, &r0, params).unwrap();
+    let r_min = labels.min_short_path(&graph, &r0).unwrap();
+    let counts = vec![7i64; graph.num_vertices()];
+    let problem = Problem::from_observability_counts(&graph, &counts, params, r_min);
+    // The paper-literal schedule (descent only).
+    let paper_config = SolverConfig {
+        bidirectional: false,
+        ..SolverConfig::default()
+    };
+    let sol = solve(&graph, &problem, r0.clone(), paper_config).unwrap();
+    // Descent: r only decreases from the start.
+    for v in graph.vertices() {
+        assert!(sol.retiming.get(v) <= r0.get(v), "{v} increased");
+    }
+    // Re-running from the final point makes no further progress, and
+    // the bidirectional schedule can only match or improve.
+    let again = solve(&graph, &problem, sol.retiming.clone(), paper_config).unwrap();
+    assert_eq!(again.objective_gain, 0);
+    let bidir = solve(&graph, &problem, r0, SolverConfig::default()).unwrap();
+    assert!(bidir.objective_gain >= sol.objective_gain);
+}

@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the suite.
+
+use minobswin::closure::ConstraintSystem;
+use minobswin::forest::WeightedRegularForest;
+use netlist::generator::GeneratorConfig;
+use netlist::{DelayModel, GateKind};
+use proptest::prelude::*;
+use retime::timing::clock_period;
+use retime::{ElwParams, LrLabels, RetimeGraph, Retiming, VertexId};
+use ser_engine::IntervalSet;
+
+proptest! {
+    /// IntervalSet insertion keeps intervals sorted, disjoint and
+    /// non-touching, and total_length equals a brute-force point count
+    /// over the half-open interpretation... here closed intervals:
+    /// sum of (r - l).
+    #[test]
+    fn interval_set_invariants(ops in prop::collection::vec((0i64..200, 0i64..40), 0..40)) {
+        let mut set = IntervalSet::new();
+        for (lo, len) in ops {
+            set.insert(lo, lo + len);
+        }
+        let intervals = set.intervals();
+        for w in intervals.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "sorted and disjoint: {:?}", intervals);
+        }
+        let total: i64 = intervals.iter().map(|(l, r)| r - l).sum();
+        prop_assert_eq!(total, set.total_length());
+        if let (Some(l), Some(r)) = (set.left(), set.right()) {
+            prop_assert!(l <= r);
+            prop_assert!(set.contains(l) && set.contains(r));
+        }
+    }
+
+    /// Shifting an interval set preserves its measure and count.
+    #[test]
+    fn interval_shift_preserves_measure(
+        ops in prop::collection::vec((0i64..100, 0i64..20), 1..20),
+        delta in -500i64..500,
+    ) {
+        let mut set = IntervalSet::new();
+        for (lo, len) in ops {
+            set.insert(lo, lo + len);
+        }
+        let shifted = set.shifted(delta);
+        prop_assert_eq!(set.total_length(), shifted.total_length());
+        prop_assert_eq!(set.count(), shifted.count());
+    }
+
+    /// Random generated circuits always build valid retiming graphs
+    /// whose identity retiming is P0-feasible, and Theorem 1 holds:
+    /// the L/R labels equal the exact ELW extremes.
+    #[test]
+    fn theorem1_on_random_circuits(seed in 0u64..40) {
+        let circuit = GeneratorConfig::new("prop", seed)
+            .gates(40 + (seed as usize % 40))
+            .registers(8 + (seed as usize % 8))
+            .build();
+        let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
+        let r = Retiming::zero(&graph);
+        prop_assert!(graph.check_nonnegative(&r).is_ok());
+        let phi = clock_period(&graph, &r).unwrap() + 2;
+        let params = ElwParams::with_phi(phi);
+        let labels = LrLabels::compute(&graph, &r, params).unwrap();
+        let elws = ser_engine::elw::compute_elws(&graph, &r, params).unwrap();
+        for v in graph.vertices() {
+            let set = &elws[v.index()];
+            match (labels.l(v), labels.r(v)) {
+                (Some(l), Some(rr)) => {
+                    prop_assert_eq!(Some(l), set.left());
+                    prop_assert_eq!(Some(rr), set.right());
+                    prop_assert!(rr >= l);
+                }
+                _ => prop_assert!(set.is_empty()),
+            }
+        }
+    }
+
+    /// The max-gain closed set really is closed, frozen-free and of
+    /// positive gain, for random constraint systems.
+    #[test]
+    fn closure_selection_invariants(
+        gains in prop::collection::vec(-50i64..50, 2..30),
+        arcs in prop::collection::vec((1usize..30, 1usize..30), 0..60),
+        frozen in prop::collection::vec(1usize..30, 0..5),
+    ) {
+        let mut b = vec![0i64];
+        b.extend(gains.iter());
+        let n = b.len();
+        let mut cs = ConstraintSystem::new(b);
+        for (p, q) in arcs {
+            let (p, q) = (p % n, q % n);
+            if p != 0 && q != 0 && p != q {
+                cs.add_arc(VertexId::new(p), VertexId::new(q));
+            }
+        }
+        for f in frozen {
+            if f % n != 0 {
+                cs.freeze(VertexId::new(f % n));
+            }
+        }
+        let set = cs.max_gain_closed_set();
+        if !set.is_empty() {
+            prop_assert!(cs.is_closed(&set));
+            prop_assert!(cs.gain_of(&set) > 0);
+            for v in &set {
+                prop_assert!(!cs.is_frozen(*v));
+            }
+        }
+    }
+
+    /// The weighted regular forest keeps its structural invariants
+    /// under random update/freeze/break sequences.
+    #[test]
+    fn forest_invariants_under_random_ops(
+        gains in prop::collection::vec(-20i64..20, 3..16),
+        ops in prop::collection::vec((0usize..3, 1usize..16, 1usize..16, 1i64..4), 0..40),
+    ) {
+        let mut b = vec![0i64];
+        b.extend(gains.iter());
+        let n = b.len();
+        let mut forest = WeightedRegularForest::new(b);
+        for (kind, p, q, w) in ops {
+            let p = 1 + (p % (n - 1));
+            let q = 1 + (q % (n - 1));
+            match kind {
+                0 if p != q => {
+                    forest.update(VertexId::new(p), VertexId::new(q), w);
+                }
+                1 => forest.freeze(VertexId::new(p)),
+                _ => forest.break_tree(VertexId::new(q)),
+            }
+            prop_assert!(forest.check_invariants().is_ok());
+            prop_assert!(forest.num_constraints() < n);
+        }
+        // Positive set members really belong to positive trees.
+        for v in forest.positive_set() {
+            let gain = forest.tree_gain(v);
+            prop_assert!(matches!(gain, Some(g) if g > 0));
+        }
+    }
+
+    /// Netlist round trip through .bench preserves structure for
+    /// arbitrary generated circuits.
+    #[test]
+    fn bench_round_trip_structure(seed in 0u64..30) {
+        let circuit = GeneratorConfig::new("rt", seed)
+            .gates(30 + (seed as usize % 50))
+            .registers(5 + (seed as usize % 10))
+            .build();
+        let text = netlist::bench_format::write(&circuit);
+        let reparsed = netlist::bench_format::parse(&text, circuit.name()).unwrap();
+        prop_assert_eq!(circuit.len(), reparsed.len());
+        prop_assert_eq!(circuit.num_registers(), reparsed.num_registers());
+        prop_assert_eq!(circuit.num_edges(), reparsed.num_edges());
+        for (_, gate) in circuit.iter() {
+            if gate.kind() == GateKind::Output {
+                continue;
+            }
+            let rid = reparsed.find(gate.name()).unwrap();
+            prop_assert_eq!(gate.kind(), reparsed.gate(rid).kind());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Feasibility of the solver output on random instances, with the
+    /// full pipeline initialization.
+    #[test]
+    fn solver_output_always_feasible(seed in 0u64..12) {
+        use minobswin::algorithm::{solve, SolverConfig};
+        use minobswin::init::{initialize, InitConfig};
+        use minobswin::verify::check_feasible;
+        use minobswin::Problem;
+
+        let circuit = GeneratorConfig::new("feas", seed)
+            .gates(70)
+            .registers(14)
+            .build();
+        let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
+        let init = initialize(&graph, InitConfig::default()).unwrap();
+        let params = ElwParams { phi: init.phi, t_setup: 0, t_hold: 2 };
+        let counts = vec![3i64; graph.num_vertices()];
+        let problem = Problem::from_observability_counts(&graph, &counts, params, init.r_min);
+        let sol = solve(&graph, &problem, init.retiming, SolverConfig::default()).unwrap();
+        prop_assert!(check_feasible(&graph, &problem, &sol.retiming).is_ok());
+        prop_assert!(sol.objective_gain >= 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Smoke test of the Table I harness on heavily scaled twins: the
+//! experiment must run end to end and reproduce the qualitative shape
+//! (register reductions, MinObsWin never structurally invalid).
+
+use bench_harness::{format_table, run_table1, summarize, Table1Options};
+
+#[test]
+fn scaled_suite_runs_and_has_shape() {
+    let options = Table1Options {
+        scale: 96,
+        giant_extra_scale: 8,
+        filter: None,
+        num_vectors: 256,
+        frames: 6,
+    };
+    let rows = run_table1(&options);
+    assert!(
+        rows.len() >= 18,
+        "most of the 21 circuits should run, got {}",
+        rows.len()
+    );
+
+    let s = summarize(&rows);
+    // Qualitative shape of the paper's results: both methods reduce
+    // registers strongly on average; SER ratio ref/new is finite.
+    assert!(
+        s.avg_dff_ref < 0.0,
+        "MinObs should reduce registers on average, got {:+.2}%",
+        s.avg_dff_ref * 100.0
+    );
+    assert!(s.avg_ratio.is_finite() && s.avg_ratio > 0.0);
+    // The exact-closure solver front-loads its gains, so #J is small
+    // (often 1, vs. the paper's incremental 1..9); most circuits must
+    // still commit at least once.
+    let committed = rows
+        .iter()
+        .filter(|r| r.run.minobswin.stats.commits >= 1)
+        .count();
+    assert!(
+        committed * 2 >= rows.len(),
+        "only {committed}/{} circuits committed a move",
+        rows.len()
+    );
+
+    let table = format_table(&rows);
+    assert!(table.contains("s13207"));
+    assert!(table.contains("b22_opt"));
+    assert!(table.contains("paper AVG."));
+}
+
+#[test]
+fn single_circuit_row_fields_consistent() {
+    let options = Table1Options {
+        filter: Some("b15_1".into()),
+        ..Table1Options::tiny()
+    };
+    let rows = run_table1(&options);
+    assert_eq!(rows.len(), 1);
+    let r = &rows[0].run;
+    // Ratio consistency.
+    let ratio = r.minobs.ser / r.minobswin.ser;
+    assert!((r.ser_ratio() - ratio).abs() < 1e-12);
+    // ΔSER consistency with the absolute values.
+    let recomputed = r.minobswin.ser / r.ser_original - 1.0;
+    assert!((r.minobswin.delta_ser - recomputed).abs() < 1e-12);
+}

@@ -1,0 +1,61 @@
+//! Monte-Carlo fault-injection throughput: atlas precompute and
+//! campaign sampling, single- vs multi-worker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultsim::{run_campaign_on, CampaignConfig, FaultAtlas};
+use netlist::generator::GeneratorConfig;
+use netlist::Circuit;
+use ser_engine::sim::SimConfig;
+use ser_engine::SerConfig;
+
+fn circuit_of(gates: usize) -> Circuit {
+    GeneratorConfig::new("faultsim_bench", gates as u64)
+        .gates(gates)
+        .registers(gates / 5)
+        .build()
+}
+
+fn bench_config() -> SerConfig {
+    SerConfig {
+        sim: SimConfig {
+            num_vectors: 512,
+            frames: 8,
+            warmup: 8,
+            seed: 1,
+        },
+        ..SerConfig::with_phi(200)
+    }
+}
+
+fn bench_atlas_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faultsim_atlas");
+    group.sample_size(10);
+    for gates in [200usize, 600] {
+        let circuit = circuit_of(gates);
+        let config = bench_config();
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &circuit, |b, ckt| {
+            b.iter(|| FaultAtlas::build(ckt, &config, 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faultsim_campaign_50k");
+    group.sample_size(10);
+    let circuit = circuit_of(400);
+    let config = bench_config();
+    let atlas = FaultAtlas::build(&circuit, &config, 0).unwrap();
+    for workers in [1usize, 4] {
+        let campaign = CampaignConfig::new(50_000).with_workers(workers);
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &campaign,
+            |b, campaign| b.iter(|| run_campaign_on(&atlas, circuit.name(), campaign)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_atlas_build, bench_campaign);
+criterion_main!(benches);

@@ -57,21 +57,20 @@ fn bench_observability(c: &mut Criterion) {
 fn bench_full_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_ser_analysis");
     group.sample_size(10);
-    for gates in [500usize] {
-        let circuit = circuit_of(gates);
-        let config = SerConfig {
-            sim: SimConfig {
-                num_vectors: 512,
-                frames: 10,
-                warmup: 8,
-                seed: 1,
-            },
-            ..SerConfig::with_phi(200)
-        };
-        group.bench_with_input(BenchmarkId::from_parameter(gates), &circuit, |b, ckt| {
-            b.iter(|| analyze(ckt, &config).unwrap())
-        });
-    }
+    let gates = 500usize;
+    let circuit = circuit_of(gates);
+    let config = SerConfig {
+        sim: SimConfig {
+            num_vectors: 512,
+            frames: 10,
+            warmup: 8,
+            seed: 1,
+        },
+        ..SerConfig::with_phi(200)
+    };
+    group.bench_with_input(BenchmarkId::from_parameter(gates), &circuit, |b, ckt| {
+        b.iter(|| analyze(ckt, &config).unwrap())
+    });
     group.finish();
 }
 

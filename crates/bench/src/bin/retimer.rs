@@ -13,20 +13,41 @@
 //!   --vectors K  --frames N          simulation size (default 1024 / 15)
 //!   --seed S                         stimulus seed
 //!   --no-equiv                       skip the bounded equivalence check
+//!
+//! retimer fault-sim INPUT[.bench|.blif|.v] [options]
+//!
+//!   Monte-Carlo SEU campaign cross-validating the analytic SER model,
+//!   before and after retiming (see crates/faultsim).
+//!
+//!   --injections N                   strikes per campaign (default 100000)
+//!   --workers W                      threads (default 0 = all cores)
+//!   --method minobs|minobswin        retiming to score (default minobswin)
+//!   --campaign-seed S                injection sampling seed
+//!   --pulse-width F                  transient width in delay units
+//!   --tolerance F                    relative CI widening (default 0.05)
+//!   --vectors K  --frames N  --seed S   as above
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use faultsim::{run_campaign, CampaignConfig, CrossCheck, DEFAULT_TOLERANCE};
 use minobswin::experiment::{run_circuit, MethodResult, RunConfig};
 use netlist::{bench_format, blif, verilog, Circuit, DelayModel, NetlistError};
 use retime::apply::apply_retiming;
-use retime::RetimeGraph;
+use retime::{ElwParams, RetimeGraph};
 use ser_engine::equiv::{check_equivalence, EquivConfig};
 use ser_engine::sim::SimConfig;
+use ser_engine::{analyze, SerConfig};
 
 fn main() -> ExitCode {
-    match run() {
+    let subcommand = std::env::args().nth(1);
+    let result = if subcommand.as_deref() == Some("fault-sim") {
+        run_fault_sim()
+    } else {
+        run()
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -198,6 +219,186 @@ fn run() -> Result<(), String> {
     if let Some(report) = &options.report {
         append_csv(report, &run).map_err(|e| e.to_string())?;
         println!("appended {report}");
+    }
+    Ok(())
+}
+
+struct FaultSimOptions {
+    input: String,
+    injections: u64,
+    workers: usize,
+    method: String,
+    campaign_seed: u64,
+    pulse_width: f64,
+    tolerance: f64,
+    vectors: usize,
+    frames: usize,
+    seed: u64,
+}
+
+fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
+    let mut args = std::env::args().skip(2); // binary name + "fault-sim"
+    let mut options = FaultSimOptions {
+        input: String::new(),
+        injections: 100_000,
+        workers: 0,
+        method: "minobswin".into(),
+        campaign_seed: 0x5EED_FA17,
+        pulse_width: 0.0,
+        tolerance: DEFAULT_TOLERANCE,
+        vectors: 1024,
+        frames: 15,
+        seed: 0xC0FFEE,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--injections" => {
+                options.injections = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--injections needs a positive integer")?
+            }
+            "--workers" => {
+                options.workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--workers needs an integer")?
+            }
+            "--method" => options.method = args.next().ok_or("--method needs a value")?,
+            "--campaign-seed" => {
+                options.campaign_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--campaign-seed needs an integer")?
+            }
+            "--pulse-width" => {
+                options.pulse_width = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--pulse-width needs a number")?
+            }
+            "--tolerance" => {
+                options.tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--tolerance needs a number")?
+            }
+            "--vectors" => {
+                options.vectors = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--vectors needs a positive integer")?
+            }
+            "--frames" => {
+                options.frames = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--frames needs a positive integer")?
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: retimer fault-sim INPUT[.bench|.blif|.v] [--injections N] \
+                     [--workers W] [--method minobs|minobswin] [--campaign-seed S] \
+                     [--pulse-width F] [--tolerance F] [--vectors K] [--frames N] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other if options.input.is_empty() && !other.starts_with('-') => {
+                options.input = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if options.input.is_empty() {
+        return Err("missing input netlist (try `retimer fault-sim --help`)".into());
+    }
+    if !matches!(options.method.as_str(), "minobs" | "minobswin") {
+        return Err(format!("unknown method `{}`", options.method));
+    }
+    Ok(options)
+}
+
+/// Scores a circuit with a Monte-Carlo injection campaign before and
+/// after retiming, cross-checking each campaign against the analytic
+/// model.
+fn run_fault_sim() -> Result<(), String> {
+    let options = parse_fault_sim_args()?;
+    let circuit = read_netlist(&options.input).map_err(|e| e.to_string())?;
+    eprintln!("read {circuit}");
+
+    let config = RunConfig {
+        sim: SimConfig {
+            num_vectors: options.vectors,
+            frames: options.frames,
+            warmup: 16,
+            seed: options.seed,
+        },
+        ..RunConfig::default()
+    };
+    let run = run_circuit(&circuit, &config).map_err(|e| e.to_string())?;
+    let ser_config = SerConfig {
+        sim: config.sim,
+        delays: config.delays.clone(),
+        rates: config.rates.clone(),
+        elw: ElwParams {
+            phi: run.phi,
+            t_setup: config.init.t_setup,
+            t_hold: config.init.t_hold,
+        },
+    };
+    let campaign_config = CampaignConfig::new(options.injections)
+        .with_seed(options.campaign_seed)
+        .with_workers(options.workers)
+        .with_pulse_width(options.pulse_width);
+
+    let score = |label: &str, c: &Circuit| -> Result<f64, String> {
+        let report = analyze(c, &ser_config).map_err(|e| e.to_string())?;
+        let campaign = run_campaign(c, &ser_config, &campaign_config).map_err(|e| e.to_string())?;
+        let check = CrossCheck::compare(c, &report, &campaign, options.tolerance);
+        println!("== {label} ==");
+        print!("{}", check.summary());
+        let (lo, hi) = campaign.ser_ci();
+        println!(
+            "  empirical SER {:.4e} [{:.4e}, {:.4e}] over {} injections, {} workers",
+            campaign.ser(),
+            lo,
+            hi,
+            campaign.injections,
+            campaign.workers
+        );
+        let mut regs: Vec<_> = campaign
+            .register_latches
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .collect();
+        regs.sort_by_key(|&&(_, n)| std::cmp::Reverse(n));
+        for &&(r, n) in regs.iter().take(5) {
+            println!("  register {:>12}: {} latches", c.gate(r).name(), n);
+        }
+        Ok(campaign.ser())
+    };
+
+    let before = score("original", &circuit)?;
+
+    let chosen = if options.method == "minobs" { &run.minobs } else { &run.minobswin };
+    let delays = DelayModel::default();
+    let graph = RetimeGraph::from_circuit(&circuit, &delays).map_err(|e| e.to_string())?;
+    let rebuilt =
+        apply_retiming(&circuit, &graph, &chosen.retiming).map_err(|e| e.to_string())?;
+    let after = score(&format!("retimed ({})", options.method), &rebuilt)?;
+
+    if before > 0.0 {
+        println!(
+            "empirical SER change: {:+.2}% (analytic {:+.2}%)",
+            (after / before - 1.0) * 100.0,
+            chosen.delta_ser * 100.0
+        );
     }
     Ok(())
 }

@@ -116,7 +116,7 @@ pub struct Table1Summary {
 /// Computes the summary row.
 pub fn summarize(rows: &[Table1Row]) -> Table1Summary {
     let n = rows.len().max(1) as f64;
-    let avg = |f: &dyn Fn(&Table1Row) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+    let avg = |f: &dyn Fn(&Table1Row) -> f64| rows.iter().map(f).sum::<f64>() / n;
     Table1Summary {
         avg_dff_ref: avg(&|r| r.run.minobs.delta_ff),
         avg_dser_ref: avg(&|r| r.run.minobs.delta_ser),

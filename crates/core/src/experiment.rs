@@ -18,7 +18,7 @@ use crate::problem::Problem;
 use crate::SolveError;
 
 /// Configuration of a full experiment run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RunConfig {
     /// Simulation parameters (K vectors, n frames, warm-up, seed).
     pub sim: SimConfig,
@@ -28,17 +28,6 @@ pub struct RunConfig {
     pub rates: ErrorRateModel,
     /// §V initialization knobs (T_s, T_h, ε).
     pub init: InitConfig,
-}
-
-impl Default for RunConfig {
-    fn default() -> Self {
-        Self {
-            sim: SimConfig::default(),
-            delays: DelayModel::default(),
-            rates: ErrorRateModel::default(),
-            init: InitConfig::default(),
-        }
-    }
 }
 
 impl RunConfig {

@@ -527,7 +527,7 @@ mod tests {
             }
             let w = 1 + rng.gen_range(3) as i64;
             f.update(v(p), v(q), w);
-            assert!(f.num_constraints() <= n - 1);
+            assert!(f.num_constraints() < n);
             f.check_invariants().unwrap();
         }
     }

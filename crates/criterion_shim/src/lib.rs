@@ -1,0 +1,294 @@
+//! # criterion (offline shim)
+//!
+//! A small, dependency-free stand-in for the [`criterion`] benchmark
+//! harness, exposing the subset of its API this workspace's
+//! `crates/bench/benches/*.rs` use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! The workspace pins its registry to an offline mirror, so the real
+//! crate cannot be fetched at build time. This shim keeps `cargo bench`
+//! and `cargo test` (which runs bench targets in test mode) working:
+//!
+//! * under `cargo bench`, every benchmark is warmed up and timed for a
+//!   short budget, and a `name  time/iter  (iters)` line is printed —
+//!   enough for coarse regression spotting, with none of criterion's
+//!   statistics;
+//! * under `cargo test` (cargo passes `--test` to bench binaries),
+//!   every benchmark body runs exactly once, as a smoke test.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How benchmarks execute: timed (default) or single-shot smoke mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Warm up, then time for a budget and report.
+    Measure,
+    /// Run each body once without reporting times (`--test`).
+    Test,
+}
+
+fn mode_from_args() -> Mode {
+    // Cargo invokes bench targets with `--test` under `cargo test` and
+    // with `--bench` under `cargo bench`; filters and criterion's own
+    // flags may follow. Everything except `--test` selects measuring.
+    if std::env::args().any(|a| a == "--test") {
+        Mode::Test
+    } else {
+        Mode::Measure
+    }
+}
+
+/// A benchmark identifier: `name`, or `name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Mean nanoseconds per iteration and iteration count, filled by
+    /// [`Bencher::iter`].
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`. In test mode it runs exactly once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            self.result = Some((0.0, 1));
+            return;
+        }
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(routine());
+        let budget = Duration::from_millis(300);
+        let max_iters = self.sample_size.max(1) as u64 * 10;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < max_iters {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        let nanos = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.result = Some((nanos, iters));
+    }
+}
+
+fn run_one<F>(mode: Mode, sample_size: usize, id: &str, f: F)
+where
+    F: FnOnce(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        result: None,
+    };
+    f(&mut bencher);
+    match (mode, bencher.result) {
+        (Mode::Test, _) => println!("test {id} ... ok"),
+        (Mode::Measure, Some((nanos, iters))) => {
+            println!("{id:<50} {:>14}/iter  ({iters} iters)", human_time(nanos));
+        }
+        (Mode::Measure, None) => println!("{id:<50} (no iter() call)"),
+    }
+}
+
+fn human_time(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.0} ns")
+    }
+}
+
+/// The shim's benchmark manager; created by [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: mode_from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a routine under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_one(self.mode, 10, id, |b| f(b));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (the shim uses it only to scale its
+    /// iteration cap).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion.mode, self.sample_size, &full, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks a routine under the group's prefix.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion.mode, self.sample_size, &full, |b| f(b));
+        self
+    }
+
+    /// Ends the group (report-flushing no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("solve", 64).to_string(), "solve/64");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut calls = 0u64;
+        run_one(Mode::Test, 10, "smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1, "test mode runs the routine exactly once");
+
+        let mut timed_calls = 0u64;
+        run_one(Mode::Measure, 1, "timed", |b| {
+            b.iter(|| timed_calls += 1);
+        });
+        assert!(timed_calls >= 2, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn groups_chain() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let data = 21u64;
+        group.bench_with_input(BenchmarkId::from_parameter(data), &data, |b, &d| {
+            b.iter(|| d * 2)
+        });
+        group.finish();
+    }
+}

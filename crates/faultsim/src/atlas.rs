@@ -1,0 +1,449 @@
+//! Campaign precomputation: the *fault atlas*.
+//!
+//! A Monte-Carlo campaign draws millions of `(site, vector, arrival,
+//! width)` tuples, but the logic-propagation outcome of a flip depends
+//! only on `(site, vector)` — and the bit-parallel simulation already
+//! evaluates all `K` vectors of a site at once. The atlas therefore
+//! resimulates each distinct injection node once up front (one faulty
+//! `n`-frame window per node, exactly the procedure of
+//! [`ser_engine::odc::exact_fault_injection`]), and the per-injection
+//! hot loop reduces to two table lookups and an interval test.
+//!
+//! The atlas is immutable after construction and shared by reference
+//! across campaign workers.
+
+use netlist::rng::Xoshiro256;
+use netlist::{Circuit, GateId, GateKind};
+use retime::{RetimeGraph, Retiming};
+use ser_engine::elw::compute_elws;
+use ser_engine::sim::FrameTrace;
+use ser_engine::{eval_gate, register_driver, IntervalSet, SerConfig, Signature};
+
+/// One strike site of the campaign: a gate (or register) with a
+/// positive raw rate.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// The struck gate (combinational gate or register).
+    pub gate: GateId,
+    /// The node whose output the transient is injected at. For
+    /// combinational gates this is the gate itself; for registers it is
+    /// the driving combinational gate (registers are wires in the
+    /// time-frame expansion — same convention as [`ser_engine::analyze`]).
+    pub node: GateId,
+    /// The raw SEU rate `err(gate)` used as the site's sampling weight.
+    pub rate: f64,
+    /// Index into the atlas's dense node-table array.
+    pub(crate) table: usize,
+}
+
+/// Per-injection-node propagation tables.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeTables {
+    /// Bit `k` set ⟺ flipping the node in frame 0 of vector `k` is
+    /// visible at a primary output of any frame or at a register input
+    /// of the last frame (the paper's observation points).
+    pub detected: Signature,
+    /// Per register (slot order of [`Circuit::registers`]): bit `k` set
+    /// ⟺ that register's last-frame `D` input is corrupted.
+    pub reg_corrupt: Vec<Signature>,
+    /// Bit `k` set ⟺ some primary output of some frame differs.
+    pub po_detect: Signature,
+    /// The node's exact error-latching window (for a register site,
+    /// its driver's window).
+    pub elw: IntervalSet,
+}
+
+/// Immutable precomputed campaign state: strike sites with cumulative
+/// sampling weights plus per-node propagation tables.
+#[derive(Debug, Clone)]
+pub struct FaultAtlas {
+    phi: i64,
+    num_vectors: usize,
+    total_rate: f64,
+    sites: Vec<Site>,
+    /// `cumulative[i]` = Σ rate of sites `0..=i` (for weighted sampling).
+    cumulative: Vec<f64>,
+    tables: Vec<NodeTables>,
+    /// Gate index → table index of the gate's effective node, for every
+    /// gate that is a site or an effective node.
+    table_of_gate: Vec<Option<usize>>,
+    registers: Vec<GateId>,
+}
+
+impl FaultAtlas {
+    /// Precomputes the atlas for `circuit` under `config`, using up to
+    /// `workers` threads for the per-node resimulations (`0` means one
+    /// thread per available core). The result is identical for any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`retime::RetimeError`] if the circuit cannot be modeled
+    /// as a retiming graph (register-only loops), as in
+    /// [`ser_engine::analyze`].
+    pub fn build(
+        circuit: &Circuit,
+        config: &SerConfig,
+        workers: usize,
+    ) -> Result<Self, retime::RetimeError> {
+        let trace = FrameTrace::simulate(circuit, config.sim);
+        let graph = RetimeGraph::from_circuit(circuit, &config.delays)?;
+        let vertex_elws = compute_elws(&graph, &Retiming::zero(&graph), config.elw)?;
+
+        // Strike sites: every gate with a positive raw rate.
+        let mut sites = Vec::new();
+        let mut node_ids: Vec<GateId> = Vec::new();
+        let mut table_of_gate: Vec<Option<usize>> = vec![None; circuit.len()];
+        for (id, gate) in circuit.iter() {
+            let rate = config.rates.rate(circuit, id);
+            if rate <= 0.0 {
+                continue;
+            }
+            let node = if gate.kind() == GateKind::Dff {
+                register_driver(circuit, id)
+            } else {
+                id
+            };
+            let table = match table_of_gate[node.index()] {
+                Some(t) => t,
+                None => {
+                    let t = node_ids.len();
+                    node_ids.push(node);
+                    table_of_gate[node.index()] = Some(t);
+                    t
+                }
+            };
+            table_of_gate[id.index()] = Some(table);
+            sites.push(Site {
+                gate: id,
+                node,
+                rate,
+                table,
+            });
+        }
+
+        // Per-node faulty resimulations, fanned out across workers.
+        // Each node is independent, so any split is bit-identical.
+        let worker_count = effective_workers(workers, node_ids.len());
+        let mut tables: Vec<NodeTables> = Vec::with_capacity(node_ids.len());
+        if worker_count <= 1 || node_ids.len() <= 1 {
+            for &node in &node_ids {
+                tables.push(resimulate_node(circuit, &trace, node));
+            }
+        } else {
+            let chunk = node_ids.len().div_ceil(worker_count);
+            let mut parts: Vec<Vec<NodeTables>> = Vec::new();
+            let trace_ref = &trace;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = node_ids
+                    .chunks(chunk)
+                    .map(|nodes| {
+                        scope.spawn(move || {
+                            nodes
+                                .iter()
+                                .map(|&node| resimulate_node(circuit, trace_ref, node))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    parts.push(handle.join().expect("atlas worker panicked"));
+                }
+            });
+            tables.extend(parts.into_iter().flatten());
+        }
+
+        // Attach the effective error-latching window of each node.
+        let params = config.elw;
+        for (tables_entry, &node) in tables.iter_mut().zip(&node_ids) {
+            tables_entry.elw = match graph.vertex_of(node) {
+                Some(v) => vertex_elws[v.index()].clone(),
+                // Node outside the retiming graph (e.g. a register fed
+                // directly by a primary input): the strike lands on the
+                // register boundary itself, so the latching window
+                // applies unshifted.
+                None => IntervalSet::of(params.window_left(), params.window_right()),
+            };
+        }
+
+        let mut cumulative = Vec::with_capacity(sites.len());
+        let mut total_rate = 0.0;
+        for site in &sites {
+            total_rate += site.rate;
+            cumulative.push(total_rate);
+        }
+
+        Ok(Self {
+            phi: config.elw.phi,
+            num_vectors: config.sim.num_vectors,
+            total_rate,
+            sites,
+            cumulative,
+            tables,
+            table_of_gate,
+            registers: circuit.registers().to_vec(),
+        })
+    }
+
+    /// The clock period Φ of the underlying configuration.
+    pub fn phi(&self) -> i64 {
+        self.phi
+    }
+
+    /// Number of simulation vectors `K` per frame.
+    pub fn num_vectors(&self) -> usize {
+        self.num_vectors
+    }
+
+    /// Σ `err(g)` over all strike sites — the factor converting a latch
+    /// probability into an SER.
+    pub fn total_rate(&self) -> f64 {
+        self.total_rate
+    }
+
+    /// All strike sites, in gate order.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// The registers of the circuit, in slot order (the order of
+    /// per-register latch counts).
+    pub fn registers(&self) -> &[GateId] {
+        &self.registers
+    }
+
+    /// The effective injection node of a site gate (the gate itself, or
+    /// the driving gate for a register). `None` if the gate is not a
+    /// strike site.
+    pub fn effective_node(&self, gate: GateId) -> Option<GateId> {
+        self.sites
+            .iter()
+            .find(|s| s.gate == gate)
+            .map(|s| s.node)
+    }
+
+    /// The logic-detection mask of a site gate: bit `k` set ⟺ a flip of
+    /// its effective node in frame 0 of vector `k` reaches an
+    /// observation point. `None` if the gate is not a site or node.
+    pub fn detection_mask(&self, gate: GateId) -> Option<&Signature> {
+        self.table_of_gate
+            .get(gate.index())
+            .copied()
+            .flatten()
+            .map(|t| &self.tables[t].detected)
+    }
+
+    /// The exact error-latching window applied to a site gate's
+    /// transients. `None` if the gate is not a site or node.
+    pub fn latch_window(&self, gate: GateId) -> Option<&IntervalSet> {
+        self.table_of_gate
+            .get(gate.index())
+            .copied()
+            .flatten()
+            .map(|t| &self.tables[t].elw)
+    }
+
+    pub(crate) fn tables_of_site(&self, site: &Site) -> &NodeTables {
+        &self.tables[site.table]
+    }
+
+    /// Draws a site index with probability proportional to its rate.
+    pub(crate) fn sample_site(&self, rng: &mut Xoshiro256) -> usize {
+        debug_assert!(!self.sites.is_empty());
+        let u = rng.gen_f64() * self.total_rate;
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        idx.min(self.sites.len() - 1)
+    }
+}
+
+fn effective_workers(requested: usize, work_items: usize) -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let w = if requested == 0 { hardware } else { requested };
+    w.clamp(1, work_items.max(1))
+}
+
+/// Resimulates the `n`-frame window with `victim`'s output flipped in
+/// frame 0, for all `K` vectors at once, and records what reaches the
+/// observation points.
+///
+/// This is an independent reimplementation of the per-victim loop of
+/// [`ser_engine::odc::exact_fault_injection`] (same injection model,
+/// same observation points), kept separate so the Monte-Carlo engine
+/// does not share code with the machinery it cross-validates beyond the
+/// trace itself. The returned `elw` field is a placeholder filled by
+/// the caller.
+fn resimulate_node(circuit: &Circuit, trace: &FrameTrace, victim: GateId) -> NodeTables {
+    let bits = trace.config().num_vectors;
+    let frames = trace.frames();
+    let n = circuit.len();
+
+    let mut po_detect = Signature::zeros(bits);
+    let mut faulty: Vec<Signature> = (0..n)
+        .map(|i| trace.value(0, GateId::new(i)).clone())
+        .collect();
+    // The flip must survive for non-reevaluated nodes (primary inputs).
+    faulty[victim.index()] = faulty[victim.index()].not();
+    let mut reg_corrupt: Vec<Signature> = Vec::new();
+
+    for f in 0..frames {
+        if f > 0 {
+            // Register outputs take the previous faulty frame's D
+            // values; everything else restarts from the nominal trace.
+            let prev = faulty.clone();
+            for (i, _) in circuit.iter() {
+                faulty[i.index()] = trace.value(f, i).clone();
+            }
+            for &q in circuit.registers() {
+                let d = circuit.gate(q).fanins()[0];
+                faulty[q.index()] = prev[d.index()].clone();
+            }
+        }
+        for &g in circuit.topo_order() {
+            let gate = circuit.gate(g);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            let fanins: Vec<&Signature> = gate
+                .fanins()
+                .iter()
+                .map(|&x| &faulty[x.index()])
+                .collect();
+            let mut value = eval_gate(gate.kind(), &fanins, bits);
+            if f == 0 && g == victim {
+                value = value.not();
+            }
+            faulty[g.index()] = value;
+        }
+        for &po in circuit.outputs() {
+            po_detect.or_assign(&faulty[po.index()].xor(trace.value(f, po)));
+        }
+        if f == frames - 1 {
+            reg_corrupt = circuit
+                .registers()
+                .iter()
+                .map(|&q| {
+                    let d = circuit.gate(q).fanins()[0];
+                    faulty[d.index()].xor(trace.value(f, d))
+                })
+                .collect();
+        }
+    }
+
+    let mut detected = po_detect.clone();
+    for mask in &reg_corrupt {
+        detected.or_assign(mask);
+    }
+    NodeTables {
+        detected,
+        reg_corrupt,
+        po_detect,
+        elw: IntervalSet::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+    use ser_engine::odc::exact_fault_injection;
+
+    fn small_config(phi: i64) -> SerConfig {
+        SerConfig::small(phi)
+    }
+
+    #[test]
+    fn detection_density_matches_exact_fault_injection() {
+        let c = samples::s27_like();
+        let config = small_config(30);
+        let atlas = FaultAtlas::build(&c, &config, 1).unwrap();
+        let exact = exact_fault_injection(&c, config.sim);
+        for site in atlas.sites() {
+            if c.gate(site.gate).kind() == GateKind::Dff {
+                continue; // register sites share their driver's mask
+            }
+            let mask = atlas.detection_mask(site.gate).unwrap();
+            assert!(
+                (mask.density() - exact[site.gate.index()]).abs() < 1e-12,
+                "site {}",
+                c.gate(site.gate).name()
+            );
+        }
+    }
+
+    #[test]
+    fn register_sites_use_driver_tables() {
+        let c = samples::s27_like();
+        let atlas = FaultAtlas::build(&c, &small_config(30), 1).unwrap();
+        for &q in c.registers() {
+            let driver = register_driver(&c, q);
+            assert_eq!(atlas.effective_node(q), Some(driver));
+            assert_eq!(
+                atlas.detection_mask(q).unwrap(),
+                atlas.detection_mask(driver).unwrap()
+            );
+            assert_eq!(
+                atlas.latch_window(q).unwrap(),
+                atlas.latch_window(driver).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let c = samples::fig1_like();
+        let a = FaultAtlas::build(&c, &small_config(25), 1).unwrap();
+        let b = FaultAtlas::build(&c, &small_config(25), 4).unwrap();
+        assert_eq!(a.sites.len(), b.sites.len());
+        for (sa, sb) in a.sites.iter().zip(&b.sites) {
+            assert_eq!(sa.gate, sb.gate);
+            assert_eq!(
+                a.tables_of_site(sa).detected,
+                b.tables_of_site(sb).detected
+            );
+            assert_eq!(a.tables_of_site(sa).elw, b.tables_of_site(sb).elw);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_covers_all_sites() {
+        let c = samples::s27_like();
+        let atlas = FaultAtlas::build(&c, &small_config(30), 1).unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut hits = vec![0u64; atlas.sites().len()];
+        for _ in 0..20_000 {
+            hits[atlas.sample_site(&mut rng)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 0, "site {i} never sampled");
+        }
+        // Frequencies track rates: compare two sites with a rate ratio.
+        let total: u64 = hits.iter().sum();
+        for (site, &h) in atlas.sites().iter().zip(&hits) {
+            let expect = site.rate / atlas.total_rate();
+            let got = h as f64 / total as f64;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "site {:?}: got {got:.3}, expected {expect:.3}",
+                site.gate
+            );
+        }
+    }
+
+    #[test]
+    fn markers_are_not_sites() {
+        let c = samples::s27_like();
+        let atlas = FaultAtlas::build(&c, &small_config(30), 1).unwrap();
+        for site in atlas.sites() {
+            let kind = c.gate(site.gate).kind();
+            assert!(
+                !matches!(
+                    kind,
+                    GateKind::Input | GateKind::Output | GateKind::Const0 | GateKind::Const1
+                ),
+                "{kind} cannot be struck"
+            );
+        }
+    }
+}

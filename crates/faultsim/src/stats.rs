@@ -1,0 +1,86 @@
+//! Confidence intervals for Monte-Carlo latch counts.
+
+/// The Wilson score interval for a binomial proportion.
+///
+/// Returns `(lo, hi)` bounds on the true success probability given
+/// `successes` out of `trials` at critical value `z` (1.96 ≈ 95%).
+/// For `trials == 0` the interval is the vacuous `(0, 1)`.
+///
+/// The Wilson interval (unlike the naive normal approximation) stays
+/// inside `[0, 1]` and behaves sanely at `p → 0` — the regime of
+/// per-gate latch probabilities, which are small by construction.
+///
+/// # Examples
+///
+/// ```
+/// use faultsim::wilson_interval;
+/// let (lo, hi) = wilson_interval(50, 100, 1.96);
+/// assert!(lo < 0.5 && 0.5 < hi);
+/// assert!(hi - lo < 0.2);
+/// let (lo0, _) = wilson_interval(0, 100, 1.96);
+/// assert_eq!(lo0, 0.0);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    assert!(successes <= trials, "more successes than trials");
+    assert!(z > 0.0, "z must be positive");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    let lo = ((center - spread) / denom).max(0.0);
+    let hi = ((center + spread) / denom).min(1.0);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brackets_the_point_estimate() {
+        for &(s, n) in &[(1u64, 10u64), (5, 10), (9, 10), (0, 10), (10, 10)] {
+            let (lo, hi) = wilson_interval(s, n, 1.96);
+            let p = s as f64 / n as f64;
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "{s}/{n}: [{lo}, {hi}]");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn shrinks_with_more_trials() {
+        let (lo1, hi1) = wilson_interval(50, 100, 1.96);
+        let (lo2, hi2) = wilson_interval(5_000, 10_000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn widens_with_larger_z() {
+        let (lo95, hi95) = wilson_interval(30, 200, 1.96);
+        let (lo99, hi99) = wilson_interval(30, 200, 2.576);
+        assert!(lo99 < lo95 && hi95 < hi99);
+    }
+
+    #[test]
+    fn zero_trials_is_vacuous() {
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn known_value() {
+        // 10/100 at z = 1.96: textbook Wilson bounds ≈ (0.0552, 0.1744).
+        let (lo, hi) = wilson_interval(10, 100, 1.96);
+        assert!((lo - 0.0552).abs() < 5e-4, "lo {lo}");
+        assert!((hi - 0.1744).abs() < 5e-4, "hi {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more successes")]
+    fn rejects_impossible_counts() {
+        wilson_interval(11, 10, 1.96);
+    }
+}

@@ -175,7 +175,7 @@ fn strip_directive<'a>(line: &'a str, directive: &str) -> Option<&'a str> {
     None
 }
 
-fn parse_parenthesized<'a>(text: &'a str, line: usize) -> Result<&'a str, NetlistError> {
+fn parse_parenthesized(text: &str, line: usize) -> Result<&str, NetlistError> {
     let text = text.trim();
     let inner = text
         .strip_prefix('(')

@@ -169,7 +169,7 @@ pub fn read_file(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
 /// connections, so prefer `.bench`/BLIF for lossless round trips of
 /// circuits with constants (the generator never emits constants).
 pub fn write(circuit: &Circuit) -> String {
-    let sanitize = |s: &str| s.replace('%', "_").replace('.', "_");
+    let sanitize = |s: &str| s.replace(['%', '.'], "_");
     let mut out = String::new();
     let pis: Vec<String> = circuit
         .inputs()

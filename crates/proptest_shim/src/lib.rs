@@ -1,0 +1,394 @@
+//! # proptest (offline shim)
+//!
+//! A small, dependency-free stand-in for the [`proptest`] crate,
+//! providing exactly the subset of its API this workspace uses:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` inner attribute),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * integer-range and tuple [`Strategy`](strategy::Strategy)s and
+//!   [`collection::vec`],
+//! * [`test_runner::ProptestConfig`].
+//!
+//! The workspace pins its registry to an offline mirror, so external
+//! crates cannot be fetched at build time; this shim keeps the property
+//! suites runnable with the project's own deterministic PRNG
+//! (xoshiro256\*\*, the same construction as `netlist::rng`, duplicated
+//! here so the shim stays free of workspace dependencies).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its case index and the
+//!   generated inputs are re-derivable from the deterministic seed;
+//! * **uniform generation only** — ranges are sampled uniformly, with
+//!   no bias toward boundary values;
+//! * cases default to 48 per property (real proptest: 256).
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+
+/// Test-case scheduling: configuration, PRNG and the runner behind the
+/// [`proptest!`] macro.
+pub mod test_runner {
+    /// How many cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 48 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Deterministic xoshiro256\*\* stream for one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the stream from a (property, case) pair via SplitMix64.
+        pub fn for_case(property_seed: u64, case: u32) -> Self {
+            let mut state = property_seed ^ (u64::from(case).wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Unbiased uniform value in `0..bound` (Lemire rejection).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound == 0`.
+        pub fn gen_below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "gen_below bound must be positive");
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128).wrapping_mul(bound as u128);
+                let low = m as u64;
+                if low < bound {
+                    let threshold = bound.wrapping_neg() % bound;
+                    if low < threshold {
+                        continue;
+                    }
+                }
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Runs a property's cases under a config; panics on the first
+    /// failing case with its index (inputs are re-derivable from the
+    /// deterministic per-name seed).
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+        name: String,
+    }
+
+    impl TestRunner {
+        /// A runner for the property named `name` (seeds are derived
+        /// from the name with FNV-1a, so every property gets a stable,
+        /// distinct stream).
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self {
+                config,
+                seed,
+                name: name.to_string(),
+            }
+        }
+
+        /// Runs all cases.
+        ///
+        /// # Panics
+        ///
+        /// Panics when a case returns `Err` (a failed `prop_assert!`).
+        pub fn run<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), String>,
+        {
+            for i in 0..self.config.cases {
+                let mut rng = TestRng::for_case(self.seed, i);
+                if let Err(message) = case(&mut rng) {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        self.name, i, self.config.cases, message
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Value-generation strategies (the shim's counterpart of
+/// `proptest::strategy`).
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Something that can generate values of one type from a PRNG
+    /// stream.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let width = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.gen_below(width) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a uniformly
+    /// drawn length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A strategy generating vectors whose length is drawn from `size`
+    /// and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+///
+/// Must be used inside a [`proptest!`] body; expands to an early
+/// `return Err(..)` carrying the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    }};
+}
+
+/// Fails the enclosing property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// item becomes a `#[test]` running the body over generated inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the
+/// [`test_runner::ProptestConfig`] for every property in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                runner.run(|rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($t:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($t)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_streams_are_deterministic_and_distinct() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_case(42, 0);
+        let mut b = TestRng::for_case(42, 0);
+        let mut c = TestRng::for_case(42, 1);
+        let same: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let again: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let other: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(same, again);
+        assert_ne!(same, other);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges generate in bounds.
+        #[test]
+        fn ranges_in_bounds(x in -50i64..50, y in 1usize..9) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..9).contains(&y));
+        }
+
+        /// Vec strategy respects the size range and element bounds.
+        #[test]
+        fn vec_strategy_bounds(v in prop::collection::vec((0u32..7, 0i64..3), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            for (a, b) in v {
+                prop_assert!(a < 7);
+                prop_assert_eq!(b.clamp(0, 2), b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_index() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -187,6 +187,9 @@ mod tests {
     use crate::minperiod::min_period;
     use crate::timing::clock_period;
 
+    // `cycle` indexes the inner dimension of `inputs`, which iterating
+    // over `inputs` directly cannot reach.
+    #[allow(clippy::needless_range_loop)]
     fn simulate(circuit: &Circuit, inputs: &[Vec<bool>], cycles: usize) -> Vec<Vec<bool>> {
         // Simple sequential simulation: registers reset to 0; returns
         // the PO values per cycle.

@@ -143,10 +143,7 @@ impl MinCostFlow {
         }
         let mut total_cost = 0i64;
 
-        loop {
-            let Some(source) = (0..n).find(|&v| excess[v] > 0) else {
-                break;
-            };
+        while let Some(source) = (0..n).find(|&v| excess[v] > 0) {
             // Dijkstra on reduced costs from `source`.
             let mut dist = vec![INF; n];
             let mut prev_arc = vec![usize::MAX; n];

@@ -285,7 +285,7 @@ pub fn solve_exact(
             break;
         }
     }
-    if dist.iter().any(|&x| x == INF) {
+    if dist.contains(&INF) {
         return Err(RetimeError::Infeasible(
             "a vertex is unconstrained relative to the host".into(),
         ));
@@ -325,7 +325,7 @@ pub fn exhaustive_minimize(
         if v == n {
             if feasible(r) {
                 let c = cost(r);
-                if best.as_ref().map_or(true, |(_, bc)| c < *bc) {
+                if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
                     *best = Some((r.clone(), c));
                 }
             }

@@ -171,7 +171,7 @@ mod tests {
     use super::*;
     use netlist::{samples, CircuitBuilder, DelayModel};
     use retime::apply::apply_retiming;
-    use retime::{RetimeGraph, Retiming};
+    use retime::RetimeGraph;
 
     #[test]
     fn circuit_equals_itself() {

@@ -1,5 +1,11 @@
 //! # ser_engine — soft error rate analysis for sequential circuits
 //!
+//! Published as the package `minobswin-ser`; the library (and thus the
+//! import path in every example below) is `ser_engine`, and its
+//! workspace siblings are imported as `netlist`, `retime`, `minobswin`
+//! and `faultsim` — the doctests compile against these actual lib
+//! names, not the package names.
+//!
 //! Substrate crate of the **minobswin** suite (a reproduction of
 //! Lu & Zhou, *Retiming for Soft Error Minimization Under Error-Latching
 //! Window Constraints*, DATE 2013). It implements the paper's §II SER

@@ -82,7 +82,7 @@ impl Observability {
             }
             // Register outputs act as frame sources; record their ODCs
             // for the previous (earlier) frame's pass.
-            for (_ri, &q) in circuit.registers().iter().enumerate() {
+            for &q in circuit.registers() {
                 let mut acc = Signature::zeros(bits);
                 for &h in circuit.fanouts(q) {
                     match circuit.gate(h).kind() {

@@ -94,6 +94,56 @@ fn retimer_writes_verilog_output() {
 }
 
 #[test]
+fn retimer_fault_sim_scores_before_and_after() {
+    let dir = workdir("faultsim");
+    let input = dir.join("fs_demo.bench");
+    let circuit = netlist::generator::GeneratorConfig::new("fs_demo", 17)
+        .gates(80)
+        .registers(12)
+        .build();
+    netlist::bench_format::write_file(&circuit, &input).expect("write input");
+
+    let run = |args: &[&str]| {
+        Command::new(bin())
+            .arg("fault-sim")
+            .arg(input.to_str().unwrap())
+            .args(args)
+            .args(["--vectors", "256", "--frames", "6", "--injections", "20000"])
+            .output()
+            .expect("run retimer fault-sim")
+    };
+
+    let out = run(&["--workers", "2", "--campaign-seed", "7"]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("== original =="), "{stdout}");
+    assert!(stdout.contains("== retimed (minobswin) =="), "{stdout}");
+    assert!(stdout.contains("cross-check"), "{stdout}");
+    assert!(stdout.contains("empirical SER change"), "{stdout}");
+
+    // Same seed and worker count ⇒ identical output (the campaign is
+    // deterministic; the analytic side already is).
+    let again = run(&["--workers", "2", "--campaign-seed", "7"]);
+    assert_eq!(stdout, String::from_utf8_lossy(&again.stdout));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retimer_fault_sim_rejects_bad_method() {
+    let status = Command::new(bin())
+        .args(["fault-sim", "whatever.bench", "--method", "bogus"])
+        .output()
+        .expect("run retimer");
+    assert!(!status.status.success());
+}
+
+#[test]
 fn retimer_rejects_unknown_format() {
     let status = Command::new(bin())
         .arg("nonexistent.xyz")

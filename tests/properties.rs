@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants of the suite.
 
+use faultsim::{folded_elw_fraction, FaultAtlas};
 use minobswin::closure::ConstraintSystem;
 use minobswin::forest::WeightedRegularForest;
 use netlist::generator::GeneratorConfig;
@@ -139,6 +140,59 @@ proptest! {
             let gain = forest.tree_gain(v);
             prop_assert!(matches!(gain, Some(g) if g > 0));
         }
+    }
+
+    /// The faultsim atlas's latch decisions over exhaustively
+    /// enumerated single faults match the exact fault-injection
+    /// validator in `ser_engine::odc`: for every strike site, the
+    /// fraction of vectors whose flip reaches an observation point
+    /// equals the exact per-gate detection probability, and register
+    /// sites inherit their driver's decision exactly.
+    #[test]
+    fn faultsim_latch_decisions_match_exact_fault_injection(seed in 0u64..20) {
+        let circuit = GeneratorConfig::new("fsim", seed)
+            .gates(30 + (seed as usize % 30))
+            .registers(4 + (seed as usize % 6))
+            .build();
+        let config = ser_engine::SerConfig::small(40 + seed as i64 % 20);
+        let atlas = FaultAtlas::build(&circuit, &config, 1).unwrap();
+        let exact = ser_engine::odc::exact_fault_injection(&circuit, config.sim);
+        for site in atlas.sites() {
+            let mask = atlas.detection_mask(site.gate).unwrap();
+            let reference = if circuit.gate(site.gate).kind() == GateKind::Dff {
+                // A register strike is modeled as a strike at its
+                // combinational driver (registers are wires in the
+                // time-frame expansion).
+                exact[ser_engine::register_driver(&circuit, site.gate).index()]
+            } else {
+                exact[site.gate.index()]
+            };
+            prop_assert!(
+                (mask.density() - reference).abs() < 1e-12,
+                "site {}: atlas {} vs exact {}",
+                circuit.gate(site.gate).name(),
+                mask.density(),
+                reference
+            );
+        }
+    }
+
+    /// The folded timing-test expectation never exceeds the raw
+    /// `|ELW|/Φ` fraction and both lie in [0, 1] range rules: folding
+    /// can only merge probability mass, never create it.
+    #[test]
+    fn folded_fraction_bounded_by_raw_fraction(
+        ops in prop::collection::vec((0i64..120, 0i64..30), 1..10),
+        phi in 20i64..100,
+    ) {
+        let mut set = IntervalSet::new();
+        for (lo, len) in ops {
+            set.insert(lo, lo + len);
+        }
+        let folded = folded_elw_fraction(&set, phi);
+        let raw = set.total_length() as f64 / phi as f64;
+        prop_assert!((0.0..=1.0).contains(&folded));
+        prop_assert!(folded <= raw.min(1.0) + 1e-12);
     }
 
     /// Netlist round trip through .bench preserves structure for

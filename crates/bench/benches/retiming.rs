@@ -2,10 +2,9 @@
 //! `t_ref`/`t_new` columns — MinObsWin was ~2.5× slower on average).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use minobswin::algorithm::{solve, SolverConfig};
-use minobswin::init::{initialize, InitConfig};
-use minobswin::minobs::min_obs;
-use minobswin::Problem;
+use minobswin::algorithm::SolverConfig;
+use minobswin::init::InitConfig;
+use minobswin::{Problem, SolverSession};
 use netlist::generator::GeneratorConfig;
 use netlist::rng::Xoshiro256;
 use netlist::DelayModel;
@@ -26,13 +25,19 @@ fn prepare(gates: usize) -> Prepared {
         .target_edges(gates * 22 / 10)
         .build();
     let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
-    let init = initialize(&graph, InitConfig::default()).unwrap();
+    let init = InitConfig::default().initialize(&graph).unwrap();
     let params = ElwParams::with_phi(init.phi);
     // Synthetic observability counts stand in for the simulation here
     // (the solvers only see the b coefficients).
     let mut rng = Xoshiro256::seed_from_u64(7);
     let counts: Vec<i64> = (0..graph.num_vertices())
-        .map(|i| if i == 0 { 1024 } else { rng.gen_range(1025) as i64 })
+        .map(|i| {
+            if i == 0 {
+                1024
+            } else {
+                rng.gen_range(1025) as i64
+            }
+        })
         .collect();
     let problem = Problem::from_observability_counts(&graph, &counts, params, init.r_min);
     Prepared {
@@ -48,11 +53,20 @@ fn bench_solvers(c: &mut Criterion) {
     for gates in [300usize, 1000] {
         let prepared = prepare(gates);
         group.bench_with_input(BenchmarkId::new("minobs", gates), &prepared, |b, p| {
-            b.iter(|| min_obs(&p.graph, &p.problem, p.initial.clone()).unwrap())
+            b.iter(|| {
+                SolverSession::new(&p.graph, &p.problem)
+                    .config(SolverConfig::default().with_p2(false))
+                    .initial(p.initial.clone())
+                    .run()
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("minobswin", gates), &prepared, |b, p| {
             b.iter(|| {
-                solve(&p.graph, &p.problem, p.initial.clone(), SolverConfig::default()).unwrap()
+                SolverSession::new(&p.graph, &p.problem)
+                    .initial(p.initial.clone())
+                    .run()
+                    .unwrap()
             })
         });
     }
@@ -69,7 +83,7 @@ fn bench_initialization(c: &mut Criterion) {
             .build();
         let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
         group.bench_with_input(BenchmarkId::new("section_v", gates), &graph, |b, g| {
-            b.iter(|| initialize(g, InitConfig::default()).unwrap())
+            b.iter(|| InitConfig::default().initialize(g).unwrap())
         });
     }
     group.finish();

@@ -3,7 +3,7 @@
 //! `O(|V|²|E|)` worst-case time, near-linear observed).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use minobswin::experiment::{run_circuit, RunConfig};
+use minobswin::experiment::{Experiment, RunConfig};
 use netlist::generator::GeneratorConfig;
 use ser_engine::sim::SimConfig;
 
@@ -16,17 +16,14 @@ fn bench_end_to_end(c: &mut Criterion) {
             .registers(gates / 5)
             .target_edges(gates * 22 / 10)
             .build();
-        let config = RunConfig {
-            sim: SimConfig {
-                num_vectors: 256,
-                frames: 8,
-                warmup: 6,
-                seed: 9,
-            },
-            ..RunConfig::default()
-        };
+        let config = RunConfig::default().with_sim(SimConfig {
+            num_vectors: 256,
+            frames: 8,
+            warmup: 6,
+            seed: 9,
+        });
         group.bench_with_input(BenchmarkId::from_parameter(gates), &circuit, |b, ckt| {
-            b.iter(|| run_circuit(ckt, &config).unwrap())
+            b.iter(|| Experiment::new(ckt).config(config.clone()).run().unwrap())
         });
     }
     group.finish();

@@ -74,5 +74,10 @@ fn bench_full_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation, bench_observability, bench_full_analysis);
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_observability,
+    bench_full_analysis
+);
 criterion_main!(benches);

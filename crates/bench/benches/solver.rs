@@ -1,0 +1,36 @@
+//! Criterion bench of the solver's constraint-checking engines: the
+//! incremental dirty-region checker vs. full from-scratch recomputes
+//! (`SolverConfig::with_incremental(false)`), on generated circuits.
+
+use bench_harness::solver_bench::{generated_instance, BenchInstance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minobswin::algorithm::SolverConfig;
+use minobswin::SolverSession;
+
+fn solve_with(instance: &BenchInstance, config: SolverConfig) {
+    SolverSession::new(&instance.graph, &instance.problem)
+        .config(config)
+        .initial(instance.initial.clone())
+        .run()
+        .unwrap();
+}
+
+fn bench_constraint_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraint_engines");
+    group.sample_size(10);
+    for gates in [300usize, 1000] {
+        let instance = generated_instance(gates).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("incremental", gates),
+            &instance,
+            |b, inst| b.iter(|| solve_with(inst, SolverConfig::default())),
+        );
+        group.bench_with_input(BenchmarkId::new("full", gates), &instance, |b, inst| {
+            b.iter(|| solve_with(inst, SolverConfig::default().with_incremental(false)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraint_engines);
+criterion_main!(benches);

@@ -26,13 +26,27 @@
 //!   --pulse-width F                  transient width in delay units
 //!   --tolerance F                    relative CI widening (default 0.05)
 //!   --vectors K  --frames N  --seed S   as above
+//!
+//! retimer bench-solve [options]
+//!
+//!   Benchmarks the solver's constraint-checking engines (incremental
+//!   dirty-region relaxation vs. full recomputes) over sample and
+//!   generated circuits, writing per-run counters as JSON.
+//!
+//!   --out FILE                       output path (default BENCH_solver.json)
+//!   --gates N,N,...                  generated circuit sizes (default 300,1000)
+//!   --samples-only                   skip the generated circuits
 //! ```
+//!
+//! Exit codes are stable: 0 = success, 1 = infeasible instance,
+//! 2 = I/O or usage error, 3 = internal error (e.g. iteration limit).
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use faultsim::{run_campaign, CampaignConfig, CrossCheck, DEFAULT_TOLERANCE};
-use minobswin::experiment::{run_circuit, MethodResult, RunConfig};
+use minobswin::experiment::{Experiment, MethodResult, RunConfig};
+use minobswin::SolveError;
 use netlist::{bench_format, blif, verilog, Circuit, DelayModel, NetlistError};
 use retime::apply::apply_retiming;
 use retime::{ElwParams, RetimeGraph};
@@ -40,18 +54,73 @@ use ser_engine::equiv::{check_equivalence, EquivConfig};
 use ser_engine::sim::SimConfig;
 use ser_engine::{analyze, SerConfig};
 
+/// A command-line failure: a usage error or a wrapped pipeline error,
+/// mapped onto the stable exit codes documented above.
+enum CliError {
+    Usage(String),
+    Solve(SolveError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Solve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Solve(e) => e.exit_code(),
+        }
+    }
+}
+
+impl From<SolveError> for CliError {
+    fn from(e: SolveError) -> Self {
+        CliError::Solve(e)
+    }
+}
+
+impl From<NetlistError> for CliError {
+    fn from(e: NetlistError) -> Self {
+        CliError::Solve(e.into())
+    }
+}
+
+impl From<retime::RetimeError> for CliError {
+    fn from(e: retime::RetimeError) -> Self {
+        CliError::Solve(e.into())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Solve(e.into())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
 fn main() -> ExitCode {
     let subcommand = std::env::args().nth(1);
-    let result = if subcommand.as_deref() == Some("fault-sim") {
-        run_fault_sim()
-    } else {
-        run()
+    let result = match subcommand.as_deref() {
+        Some("fault-sim") => run_fault_sim(),
+        Some("bench-solve") => run_bench_solve(),
+        _ => run(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::from(2)
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -150,26 +219,27 @@ fn write_netlist(circuit: &Circuit, path: &str) -> Result<(), NetlistError> {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let options = parse_args()?;
-    let circuit = read_netlist(&options.input).map_err(|e| e.to_string())?;
+    let circuit = read_netlist(&options.input)?;
     eprintln!("read {circuit}");
 
-    let config = RunConfig {
-        sim: SimConfig {
-            num_vectors: options.vectors,
-            frames: options.frames,
-            warmup: 16,
-            seed: options.seed,
-        },
-        ..RunConfig::default()
-    };
-    let run = run_circuit(&circuit, &config).map_err(|e| e.to_string())?;
+    let config = RunConfig::default().with_sim(SimConfig {
+        num_vectors: options.vectors,
+        frames: options.frames,
+        warmup: 16,
+        seed: options.seed,
+    });
+    let run = Experiment::new(&circuit).config(config).run()?;
 
     println!(
         "Phi = {} ({}), R_min = {}",
         run.phi,
-        if run.used_setup_hold { "setup+hold init" } else { "min-period fallback" },
+        if run.used_setup_hold {
+            "setup+hold init"
+        } else {
+            "min-period fallback"
+        },
         run.r_min
     );
     println!("original : #FF {:>6}  SER {:.4e}", run.ff, run.ser_original);
@@ -194,11 +264,14 @@ fn run() -> Result<(), String> {
         println!("SER_ref / SER_new = {:.0}%", run.ser_ratio() * 100.0);
     }
 
-    let chosen = if options.method == "minobs" { &run.minobs } else { &run.minobswin };
+    let chosen = if options.method == "minobs" {
+        &run.minobs
+    } else {
+        &run.minobswin
+    };
     let delays = DelayModel::default();
-    let graph = RetimeGraph::from_circuit(&circuit, &delays).map_err(|e| e.to_string())?;
-    let rebuilt =
-        apply_retiming(&circuit, &graph, &chosen.retiming).map_err(|e| e.to_string())?;
+    let graph = RetimeGraph::from_circuit(&circuit, &delays)?;
+    let rebuilt = apply_retiming(&circuit, &graph, &chosen.retiming)?;
 
     if options.equiv {
         let verdict = check_equivalence(&circuit, &rebuilt, EquivConfig::default());
@@ -213,11 +286,11 @@ fn run() -> Result<(), String> {
     }
 
     if let Some(out) = &options.out {
-        write_netlist(&rebuilt, out).map_err(|e| e.to_string())?;
+        write_netlist(&rebuilt, out)?;
         println!("wrote {out}");
     }
     if let Some(report) = &options.report {
-        append_csv(report, &run).map_err(|e| e.to_string())?;
+        append_csv(report, &run)?;
         println!("appended {report}");
     }
     Ok(())
@@ -327,21 +400,18 @@ fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
 /// Scores a circuit with a Monte-Carlo injection campaign before and
 /// after retiming, cross-checking each campaign against the analytic
 /// model.
-fn run_fault_sim() -> Result<(), String> {
+fn run_fault_sim() -> Result<(), CliError> {
     let options = parse_fault_sim_args()?;
-    let circuit = read_netlist(&options.input).map_err(|e| e.to_string())?;
+    let circuit = read_netlist(&options.input)?;
     eprintln!("read {circuit}");
 
-    let config = RunConfig {
-        sim: SimConfig {
-            num_vectors: options.vectors,
-            frames: options.frames,
-            warmup: 16,
-            seed: options.seed,
-        },
-        ..RunConfig::default()
-    };
-    let run = run_circuit(&circuit, &config).map_err(|e| e.to_string())?;
+    let config = RunConfig::default().with_sim(SimConfig {
+        num_vectors: options.vectors,
+        frames: options.frames,
+        warmup: 16,
+        seed: options.seed,
+    });
+    let run = Experiment::new(&circuit).config(config.clone()).run()?;
     let ser_config = SerConfig {
         sim: config.sim,
         delays: config.delays.clone(),
@@ -357,9 +427,9 @@ fn run_fault_sim() -> Result<(), String> {
         .with_workers(options.workers)
         .with_pulse_width(options.pulse_width);
 
-    let score = |label: &str, c: &Circuit| -> Result<f64, String> {
-        let report = analyze(c, &ser_config).map_err(|e| e.to_string())?;
-        let campaign = run_campaign(c, &ser_config, &campaign_config).map_err(|e| e.to_string())?;
+    let score = |label: &str, c: &Circuit| -> Result<f64, CliError> {
+        let report = analyze(c, &ser_config)?;
+        let campaign = run_campaign(c, &ser_config, &campaign_config)?;
         let check = CrossCheck::compare(c, &report, &campaign, options.tolerance);
         println!("== {label} ==");
         print!("{}", check.summary());
@@ -386,11 +456,14 @@ fn run_fault_sim() -> Result<(), String> {
 
     let before = score("original", &circuit)?;
 
-    let chosen = if options.method == "minobs" { &run.minobs } else { &run.minobswin };
+    let chosen = if options.method == "minobs" {
+        &run.minobs
+    } else {
+        &run.minobswin
+    };
     let delays = DelayModel::default();
-    let graph = RetimeGraph::from_circuit(&circuit, &delays).map_err(|e| e.to_string())?;
-    let rebuilt =
-        apply_retiming(&circuit, &graph, &chosen.retiming).map_err(|e| e.to_string())?;
+    let graph = RetimeGraph::from_circuit(&circuit, &delays)?;
+    let rebuilt = apply_retiming(&circuit, &graph, &chosen.retiming)?;
     let after = score(&format!("retimed ({})", options.method), &rebuilt)?;
 
     if before > 0.0 {
@@ -403,10 +476,86 @@ fn run_fault_sim() -> Result<(), String> {
     Ok(())
 }
 
+struct BenchSolveOptions {
+    out: String,
+    gates: Vec<usize>,
+    samples_only: bool,
+}
+
+fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
+    let mut args = std::env::args().skip(2); // binary name + "bench-solve"
+    let mut options = BenchSolveOptions {
+        out: "BENCH_solver.json".into(),
+        gates: vec![300, 1000],
+        samples_only: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => options.out = args.next().ok_or("--out needs a path")?,
+            "--gates" => {
+                let list = args.next().ok_or("--gates needs a comma-separated list")?;
+                options.gates = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("invalid --gates list `{list}`"))?;
+            }
+            "--samples-only" => options.samples_only = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: retimer bench-solve [--out FILE] [--gates N,N,...] [--samples-only]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// Benchmarks the incremental constraint engine against full
+/// recomputes and writes the counters as JSON (`BENCH_solver.json`).
+fn run_bench_solve() -> Result<(), CliError> {
+    use bench_harness::solver_bench;
+
+    let options = parse_bench_solve_args()?;
+    let mut instances = solver_bench::sample_instances();
+    if !options.samples_only {
+        for &gates in &options.gates {
+            instances.push(solver_bench::generated_instance(gates)?);
+        }
+    }
+
+    let mut records = Vec::new();
+    for instance in &instances {
+        let record = solver_bench::measure(instance)?;
+        println!(
+            "{:<16} |V| {:>5} |E| {:>5}  inc {:>7.1} edges/check, full {:>8.1} \
+             ({:>5.1}x), {:.3}s vs {:.3}s",
+            record.name,
+            record.vertices,
+            record.edges,
+            record.incremental.stats.perf.edges_per_check(),
+            record.full.stats.perf.edges_per_check(),
+            record.edge_relaxation_ratio(),
+            record.incremental.solve_seconds,
+            record.full.solve_seconds,
+        );
+        records.push(record);
+    }
+
+    std::fs::write(&options.out, solver_bench::to_json(&records))?;
+    println!("wrote {}", options.out);
+    Ok(())
+}
+
 fn append_csv(path: &str, run: &minobswin::experiment::CircuitRun) -> std::io::Result<()> {
     use std::io::Write;
     let exists = Path::new(path).exists();
-    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
     if !exists {
         writeln!(
             file,

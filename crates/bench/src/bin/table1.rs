@@ -30,7 +30,10 @@ fn main() {
                     .unwrap_or_else(|| usage("--giant-extra needs a positive integer"));
             }
             "--filter" => {
-                options.filter = Some(args.next().unwrap_or_else(|| usage("--filter needs a value")));
+                options.filter = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--filter needs a value")),
+                );
             }
             "--vectors" => {
                 options.num_vectors = args

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod solver_bench;
 pub mod table1;
 
-pub use table1::{run_table1, summarize, format_table, Table1Options, Table1Row, Table1Summary};
+pub use table1::{format_table, run_table1, summarize, Table1Options, Table1Row, Table1Summary};

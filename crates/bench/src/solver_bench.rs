@@ -1,0 +1,261 @@
+//! Benchmark of the solver's constraint-checking engines: the
+//! incremental dirty-region checker against full from-scratch
+//! recomputes, on sample and generated circuits. Shared by the
+//! `retimer bench-solve` subcommand and the `solver` criterion bench;
+//! the JSON it emits (`BENCH_solver.json`) is the tracked baseline.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use minobswin::algorithm::{SolverConfig, SolverStats};
+use minobswin::init::InitConfig;
+use minobswin::{Problem, SolveError, SolverSession};
+use netlist::generator::GeneratorConfig;
+use netlist::rng::Xoshiro256;
+use netlist::{samples, Circuit, DelayModel};
+use retime::{ElwParams, RetimeGraph, Retiming};
+
+/// A prepared solver instance: graph, problem and a feasible start.
+pub struct BenchInstance {
+    /// Display name of the circuit.
+    pub name: String,
+    /// The retiming graph.
+    pub graph: RetimeGraph,
+    /// The MinObsWin instance over it.
+    pub problem: Problem,
+    /// The §V starting retiming.
+    pub initial: Retiming,
+}
+
+/// Builds an instance from a circuit: §V initialization plus synthetic
+/// observability counts (the solver only sees the `b` coefficients, so
+/// no simulation is needed for a solver benchmark).
+///
+/// # Errors
+///
+/// Propagates graph-construction and initialization failures.
+pub fn prepare(name: &str, circuit: &Circuit) -> Result<BenchInstance, SolveError> {
+    let graph = RetimeGraph::from_circuit(circuit, &DelayModel::default())?;
+    let init = InitConfig::default().initialize(&graph)?;
+    let params = ElwParams::with_phi(init.phi);
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    let counts: Vec<i64> = (0..graph.num_vertices())
+        .map(|i| {
+            if i == 0 {
+                1024
+            } else {
+                rng.gen_range(1025) as i64
+            }
+        })
+        .collect();
+    let problem = Problem::from_observability_counts(&graph, &counts, params, init.r_min);
+    Ok(BenchInstance {
+        name: name.to_string(),
+        graph,
+        problem,
+        initial: init.retiming,
+    })
+}
+
+/// The repo's sample circuits, sized well below the generated set.
+pub fn sample_instances() -> Vec<BenchInstance> {
+    [
+        ("pipeline_24x4", samples::pipeline(24, 4)),
+        ("s27_like", samples::s27_like()),
+        ("two_stage_loop", samples::two_stage_loop()),
+    ]
+    .into_iter()
+    .filter_map(|(name, c)| prepare(name, &c).ok())
+    .collect()
+}
+
+/// A generated circuit of roughly `gates` gates (the "medium" class
+/// the ≥5× edge-relaxation claim is made on).
+///
+/// # Errors
+///
+/// See [`prepare`].
+pub fn generated_instance(gates: usize) -> Result<BenchInstance, SolveError> {
+    let circuit = GeneratorConfig::new("bench", gates as u64)
+        .gates(gates)
+        .registers(gates / 5)
+        .inputs(12)
+        .outputs(12)
+        .target_edges(gates * 22 / 10)
+        .build();
+    prepare(&format!("generated_{gates}"), &circuit)
+}
+
+/// One engine's measured solver run.
+pub struct EngineRun {
+    /// Wall-clock seconds inside the solver.
+    pub solve_seconds: f64,
+    /// The objective gain (must agree across engines).
+    pub objective_gain: i64,
+    /// Full run counters, including [`SolverStats::perf`].
+    pub stats: SolverStats,
+}
+
+/// Both engines' runs over one instance.
+pub struct BenchRecord {
+    /// Circuit name.
+    pub name: String,
+    /// Retiming-graph vertices (including the host).
+    pub vertices: usize,
+    /// Retiming-graph edges.
+    pub edges: usize,
+    /// The run with the incremental checker (default configuration).
+    pub incremental: EngineRun,
+    /// The run with incremental checking disabled.
+    pub full: EngineRun,
+}
+
+impl BenchRecord {
+    /// How many times fewer edges per check the incremental engine
+    /// relaxes, compared to the full engine (higher is better).
+    pub fn edge_relaxation_ratio(&self) -> f64 {
+        let inc = self.incremental.stats.perf.edges_per_check();
+        let full = self.full.stats.perf.edges_per_check();
+        if inc <= 0.0 {
+            return 0.0;
+        }
+        full / inc
+    }
+}
+
+fn timed_run(instance: &BenchInstance, config: SolverConfig) -> Result<EngineRun, SolveError> {
+    let t0 = Instant::now();
+    let solution = SolverSession::new(&instance.graph, &instance.problem)
+        .config(config)
+        .initial(instance.initial.clone())
+        .run()?;
+    Ok(EngineRun {
+        solve_seconds: t0.elapsed().as_secs_f64(),
+        objective_gain: solution.objective_gain,
+        stats: solution.stats,
+    })
+}
+
+/// Runs both engines over one instance.
+///
+/// # Errors
+///
+/// Propagates solver failures (the prepared start is feasible, so this
+/// indicates a bug).
+///
+/// # Panics
+///
+/// Panics if the two engines disagree on the objective gain — they are
+/// required to be bit-identical.
+pub fn measure(instance: &BenchInstance) -> Result<BenchRecord, SolveError> {
+    let incremental = timed_run(instance, SolverConfig::default())?;
+    let full = timed_run(instance, SolverConfig::default().with_incremental(false))?;
+    assert_eq!(
+        incremental.objective_gain, full.objective_gain,
+        "{}: the two constraint engines must agree bit-for-bit",
+        instance.name
+    );
+    Ok(BenchRecord {
+        name: instance.name.clone(),
+        vertices: instance.graph.num_vertices(),
+        edges: instance.graph.num_edges(),
+        incremental,
+        full,
+    })
+}
+
+fn push_engine(out: &mut String, indent: &str, label: &str, run: &EngineRun) {
+    let s = &run.stats;
+    let p = &s.perf;
+    let _ = write!(
+        out,
+        "{indent}\"{label}\": {{\n\
+         {indent}  \"solve_seconds\": {:.6},\n\
+         {indent}  \"objective_gain\": {},\n\
+         {indent}  \"commits\": {},\n\
+         {indent}  \"iterations\": {},\n\
+         {indent}  \"checks\": {},\n\
+         {indent}  \"incremental_checks\": {},\n\
+         {indent}  \"full_checks\": {},\n\
+         {indent}  \"fallback_full\": {},\n\
+         {indent}  \"edges_relaxed\": {},\n\
+         {indent}  \"edges_relaxed_full\": {},\n\
+         {indent}  \"edges_per_check\": {:.3},\n\
+         {indent}  \"dirty_vertices\": {},\n\
+         {indent}  \"max_dirty\": {},\n\
+         {indent}  \"check_nanos\": {},\n\
+         {indent}  \"closure_nanos\": {}\n\
+         {indent}}}",
+        run.solve_seconds,
+        run.objective_gain,
+        s.commits,
+        s.iterations,
+        p.checks(),
+        p.incremental_checks,
+        p.full_checks,
+        p.fallback_full,
+        p.edges_relaxed,
+        p.edges_relaxed_full,
+        p.edges_per_check(),
+        p.dirty_vertices,
+        p.max_dirty,
+        p.check_nanos,
+        p.closure_nanos,
+    );
+}
+
+/// Serializes the records as the `BENCH_solver.json` document
+/// (hand-rolled: the workspace deliberately has no serde dependency).
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"solver-constraint-engines\",\n  \"version\": 1,\n");
+    out.push_str("  \"circuits\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\",\n      \"vertices\": {},\n      \"edges\": {},\n",
+            r.name, r.vertices, r.edges
+        );
+        push_engine(&mut out, "      ", "incremental", &r.incremental);
+        out.push_str(",\n");
+        push_engine(&mut out, "      ", "full", &r.full);
+        let _ = write!(
+            out,
+            ",\n      \"edge_relaxation_ratio\": {:.3}\n    }}",
+            r.edge_relaxation_ratio()
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_records_are_consistent_and_serialize() {
+        let instances = sample_instances();
+        assert!(!instances.is_empty());
+        let records: Vec<BenchRecord> = instances.iter().map(|i| measure(i).unwrap()).collect();
+        let json = to_json(&records);
+        assert!(json.contains("\"solver-constraint-engines\""));
+        assert!(json.contains("\"edge_relaxation_ratio\""));
+        for r in &records {
+            assert_eq!(r.incremental.stats.commits, r.full.stats.commits);
+            assert_eq!(r.full.stats.perf.incremental_checks, 0);
+        }
+    }
+
+    #[test]
+    fn incremental_beats_full_on_a_generated_circuit() {
+        let instance = generated_instance(300).unwrap();
+        let record = measure(&instance).unwrap();
+        assert!(
+            record.edge_relaxation_ratio() >= 5.0,
+            "expected >=5x fewer edge relaxations per check, got {:.2}x",
+            record.edge_relaxation_ratio()
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Table I reproduction: per-circuit statistics, Efficient MinObs and
 //! MinObsWin results, and the paper's summary averages.
 
-use minobswin::experiment::{run_circuit, CircuitRun, RunConfig};
+use minobswin::experiment::{CircuitRun, Experiment, RunConfig};
 use netlist::generator::{table1_twin, TABLE1_ROWS};
 use ser_engine::sim::SimConfig;
 
@@ -72,16 +72,13 @@ pub fn run_table1(options: &Table1Options) -> Vec<Table1Row> {
         let giant = paper_row.v > 60_000;
         let scale = options.scale * if giant { options.giant_extra_scale } else { 1 };
         let circuit = table1_twin(paper_row, scale);
-        let config = RunConfig {
-            sim: SimConfig {
-                num_vectors: options.num_vectors,
-                frames: options.frames,
-                warmup: 8,
-                seed: 0xC0FFEE,
-            },
-            ..RunConfig::default()
-        };
-        match run_circuit(&circuit, &config) {
+        let config = RunConfig::default().with_sim(SimConfig {
+            num_vectors: options.num_vectors,
+            frames: options.frames,
+            warmup: 8,
+            seed: 0xC0FFEE,
+        });
+        match Experiment::new(&circuit).config(config).run() {
             Ok(run) => rows.push(Table1Row {
                 paper_name: paper_row.name,
                 run,

@@ -1,28 +1,73 @@
-use minobswin::{Problem, minobs::min_obs};
+use minobswin::algorithm::SolverConfig;
+use minobswin::{Problem, SolverSession};
 use netlist::{rng::Xoshiro256, DelayModel};
-use retime::{ElwParams, RetimeGraph, Retiming, VertexId};
 use retime::minarea_ref::solve_exact;
+use retime::{ElwParams, RetimeGraph, Retiming, VertexId};
 
 fn main() {
     let seed = 2u64;
     let c = netlist::generator::GeneratorConfig::new("xc", seed)
-        .gates(60).registers(14).inputs(4).outputs(4).target_edges(130).build();
+        .gates(60)
+        .registers(14)
+        .inputs(4)
+        .outputs(4)
+        .target_edges(130)
+        .build();
     let g = RetimeGraph::from_circuit(&c, &DelayModel::default()).unwrap();
     let phi = retime::timing::clock_period(&g, &Retiming::zero(&g)).unwrap();
     let mut rng = Xoshiro256::seed_from_u64(seed * 31 + 5);
     let counts: Vec<i64> = (0..g.num_vertices())
-        .map(|i| if i == 0 { 128 } else { rng.gen_range(129) as i64 })
+        .map(|i| {
+            if i == 0 {
+                128
+            } else {
+                rng.gen_range(129) as i64
+            }
+        })
         .collect();
     let problem = Problem::from_observability_counts(&g, &counts, ElwParams::with_phi(phi), 1);
-    let sol = min_obs(&g, &problem, Retiming::zero(&g)).unwrap();
+    let sol = SolverSession::new(&g, &problem)
+        .config(SolverConfig::default().with_p2(false))
+        .run()
+        .unwrap();
     let exact = solve_exact(&g, &problem.b, Some(phi)).unwrap();
-    let obj = |r: &Retiming| -> i64 { (1..g.num_vertices()).map(|v| problem.b[v] * r.get(VertexId::new(v))).sum() };
-    eprintln!("solver obj {} exact {} freezes {} fallbacks {}", obj(&sol.retiming), exact.objective, sol.stats.freezes, sol.stats.fallback_attributions);
-    let pos: Vec<String> = g.vertices().filter(|&v| exact.retiming.get(v) > 0)
-        .map(|v| format!("{}:{}", g.name(v), exact.retiming.get(v))).collect();
-    eprintln!("exact r > 0 at {} vertices: {:?}", pos.len(), &pos[..pos.len().min(10)]);
-    let neg_deeper: Vec<String> = g.vertices()
+    let obj = |r: &Retiming| -> i64 {
+        (1..g.num_vertices())
+            .map(|v| problem.b[v] * r.get(VertexId::new(v)))
+            .sum()
+    };
+    eprintln!(
+        "solver obj {} exact {} freezes {} fallbacks {}",
+        obj(&sol.retiming),
+        exact.objective,
+        sol.stats.freezes,
+        sol.stats.fallback_attributions
+    );
+    let pos: Vec<String> = g
+        .vertices()
+        .filter(|&v| exact.retiming.get(v) > 0)
+        .map(|v| format!("{}:{}", g.name(v), exact.retiming.get(v)))
+        .collect();
+    eprintln!(
+        "exact r > 0 at {} vertices: {:?}",
+        pos.len(),
+        &pos[..pos.len().min(10)]
+    );
+    let neg_deeper: Vec<String> = g
+        .vertices()
         .filter(|&v| exact.retiming.get(v) < sol.retiming.get(v))
-        .map(|v| format!("{}: exact {} vs sol {}", g.name(v), exact.retiming.get(v), sol.retiming.get(v))).collect();
-    eprintln!("exact deeper at {} vertices: {:?}", neg_deeper.len(), &neg_deeper[..neg_deeper.len().min(10)]);
+        .map(|v| {
+            format!(
+                "{}: exact {} vs sol {}",
+                g.name(v),
+                exact.retiming.get(v),
+                sol.retiming.get(v)
+            )
+        })
+        .collect();
+    eprintln!(
+        "exact deeper at {} vertices: {:?}",
+        neg_deeper.len(),
+        &neg_deeper[..neg_deeper.len().min(10)]
+    );
 }

@@ -20,15 +20,29 @@
 //! 19–21") yields the *Efficient MinObs* baseline of ref \[17\] — see
 //! [`crate::minobs`].
 
+use std::time::Instant;
+
 use retime::{RetimeGraph, Retiming, VertexId};
 
 use crate::closure::ConstraintSystem;
+use crate::incremental::{IncrementalChecker, PerfCounters};
 use crate::problem::Problem;
 use crate::verify::{check_feasible, find_violation, Violation};
 use crate::SolveError;
 
 /// Solver knobs.
+///
+/// Construct with [`SolverConfig::default`] and refine with the
+/// `with_*` builders — the struct is `#[non_exhaustive]`, so
+/// downstream literals would not survive new knobs:
+///
+/// ```
+/// use minobswin::algorithm::SolverConfig;
+/// let config = SolverConfig::default().with_p2(false).with_bidirectional(false);
+/// assert!(!config.enable_p2);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SolverConfig {
     /// Enforce the P2 (ELW / shortest-path) constraints. `false`
     /// reproduces the *Efficient MinObs* baseline.
@@ -44,6 +58,15 @@ pub struct SolverConfig {
     /// paper's Theorem 2 claims. Set `false` for the paper-literal
     /// schedule.
     pub bidirectional: bool,
+    /// Use the incremental constraint-checking engine
+    /// ([`crate::incremental`]). The default `true` re-relaxes only the
+    /// dirty region of each tentative move; `false` forces the
+    /// from-scratch checker on every iteration (the engines are
+    /// bit-identical, so this is purely a performance knob).
+    pub incremental: bool,
+    /// Fall back to a full recompute when the dirty region exceeds
+    /// this percentage of `|V|` (only meaningful with `incremental`).
+    pub max_dirty_percent: u32,
 }
 
 impl Default for SolverConfig {
@@ -52,7 +75,43 @@ impl Default for SolverConfig {
             enable_p2: true,
             max_iterations: None,
             bidirectional: true,
+            incremental: true,
+            max_dirty_percent: 50,
         }
+    }
+}
+
+impl SolverConfig {
+    /// Sets whether the P2 (ELW) constraints are enforced.
+    pub fn with_p2(mut self, enable: bool) -> Self {
+        self.enable_p2 = enable;
+        self
+    }
+
+    /// Overrides the iteration safety cap (`None` restores the
+    /// `8·|V|² + 10⁴` default).
+    pub fn with_max_iterations(mut self, cap: Option<usize>) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Sets whether descent phases alternate with ascent phases.
+    pub fn with_bidirectional(mut self, bidirectional: bool) -> Self {
+        self.bidirectional = bidirectional;
+        self
+    }
+
+    /// Sets whether the incremental constraint checker is used.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Sets the dirty-region fallback threshold as a percentage of
+    /// `|V|`.
+    pub fn with_max_dirty_percent(mut self, percent: u32) -> Self {
+        self.max_dirty_percent = percent;
+        self
     }
 }
 
@@ -79,6 +138,9 @@ pub struct SolverStats {
     pub p1_fixes: usize,
     /// P2 violations repaired (the MinObsWin-specific machinery).
     pub p2_fixes: usize,
+    /// Constraint-checking perf counters (edges relaxed, dirty-region
+    /// sizes, incremental/full split, per-phase nanos).
+    pub perf: PerfCounters,
 }
 
 /// The result of a solver run.
@@ -102,7 +164,22 @@ pub struct Solution {
 ///   off).
 /// * [`SolveError::IterationLimit`] if the safety cap is hit (would
 ///   indicate a bug; the cap is far above the paper's `|V|²` bound).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `minobswin::SolverSession::new(graph, problem).initial(r).run()` instead"
+)]
 pub fn solve(
+    graph: &RetimeGraph,
+    problem: &Problem,
+    initial: Retiming,
+    config: SolverConfig,
+) -> Result<Solution, SolveError> {
+    run_solver(graph, problem, initial, config)
+}
+
+/// The solver core behind [`crate::SolverSession`] (and the deprecated
+/// [`solve`] wrapper).
+pub(crate) fn run_solver(
     graph: &RetimeGraph,
     problem: &Problem,
     initial: Retiming,
@@ -121,6 +198,10 @@ pub fn solve(
         return Err(SolveError::InfeasibleInitial(format!("{v:?}")));
     }
 
+    // Hoisted out of the phase loop: the cap only depends on |V|.
+    let n = graph.num_vertices();
+    let iteration_cap = config.max_iterations.unwrap_or(8 * n * n + 10_000);
+
     let start_objective = problem.objective(&initial);
     let mut r = initial;
     let mut stats = SolverStats::default();
@@ -130,9 +211,25 @@ pub fn solve(
     // objective, so this terminates).
     loop {
         let before = stats.commits;
-        r = run_phase(graph, problem, r, config, Direction::Decrease, &mut stats)?;
+        r = run_phase(
+            graph,
+            problem,
+            r,
+            config,
+            iteration_cap,
+            Direction::Decrease,
+            &mut stats,
+        )?;
         if config.bidirectional {
-            r = run_phase(graph, problem, r, config, Direction::Increase, &mut stats)?;
+            r = run_phase(
+                graph,
+                problem,
+                r,
+                config,
+                iteration_cap,
+                Direction::Increase,
+                &mut stats,
+            )?;
         }
         if stats.commits == before {
             break;
@@ -162,6 +259,7 @@ fn run_phase(
     problem: &Problem,
     mut r: Retiming,
     config: SolverConfig,
+    iteration_cap: usize,
     direction: Direction,
     stats: &mut SolverStats,
 ) -> Result<Retiming, SolveError> {
@@ -175,17 +273,29 @@ fn run_phase(
     let mut system = ConstraintSystem::new(gains);
     freeze_dead_vertices(graph, &mut system);
 
-    let cap = config
-        .max_iterations
-        .unwrap_or(8 * graph.num_vertices() * graph.num_vertices() + 10_000);
+    let mut checker = config
+        .incremental
+        .then(|| IncrementalChecker::new(graph, problem, r.clone(), config.max_dirty_percent));
+
     let mut local_iterations = 0usize;
     loop {
         stats.iterations += 1;
         local_iterations += 1;
-        if local_iterations > cap {
+        if local_iterations > iteration_cap {
+            eprintln!(
+                "warning: minobswin solver hit the iteration safety cap \
+                 [phase={direction:?} cap={iteration_cap} vertices={} commits={} \
+                 constraints={} freezes={}]",
+                graph.num_vertices() - 1,
+                stats.commits,
+                stats.constraints_added,
+                stats.freezes,
+            );
             return Err(SolveError::IterationLimit(local_iterations));
         }
+        let t_closure = Instant::now();
         let move_set = system.max_gain_closed_set();
+        stats.perf.closure_nanos += t_closure.elapsed().as_nanos() as u64;
         if move_set.is_empty() {
             break;
         }
@@ -193,7 +303,27 @@ fn run_phase(
         for &v in &move_set {
             r_tent.add(v, sign * system.weight(v));
         }
-        match find_violation(graph, problem, &r_tent) {
+        let t_check = Instant::now();
+        let verdict = match checker.as_mut() {
+            Some(checker) => {
+                let verdict = checker.check_and_commit(&r_tent, &move_set, &mut stats.perf);
+                // Differential oracle: in debug builds every single
+                // check is compared against the from-scratch engine.
+                debug_assert_eq!(
+                    verdict,
+                    find_violation(graph, problem, &r_tent),
+                    "incremental checker diverged from the from-scratch oracle"
+                );
+                verdict
+            }
+            None => {
+                stats.perf.full_checks += 1;
+                stats.perf.edges_relaxed_full += graph.num_edges() as u64;
+                find_violation(graph, problem, &r_tent)
+            }
+        };
+        stats.perf.check_nanos += t_check.elapsed().as_nanos() as u64;
+        match verdict {
             None => {
                 debug_assert!(
                     problem.objective(&r_tent) > problem.objective(&r),
@@ -231,7 +361,11 @@ fn run_phase(
 /// `(p, q, total_weight)` derived from a violation, or a freeze of `p`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Request {
-    Link { p: VertexId, q: VertexId, weight: i64 },
+    Link {
+        p: VertexId,
+        q: VertexId,
+        weight: i64,
+    },
     Freeze(VertexId),
 }
 
@@ -415,6 +549,7 @@ fn freeze_dead_vertices(graph: &RetimeGraph, system: &mut ConstraintSystem) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SolverSession;
     use netlist::{samples, DelayModel};
     use retime::ElwParams;
 
@@ -428,7 +563,7 @@ mod tests {
         let c = samples::pipeline(9, 3);
         let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
         let p = uniform_problem(&g, 20, 1);
-        let sol = solve(&g, &p, Retiming::zero(&g), SolverConfig::default()).unwrap();
+        let sol = SolverSession::new(&g, &p).run().unwrap();
         assert!(sol.objective_gain >= 0);
         assert!(check_feasible(&g, &p, &sol.retiming).is_ok());
     }
@@ -438,7 +573,7 @@ mod tests {
         let c = samples::pipeline(9, 3);
         let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
         let p = uniform_problem(&g, 2, 1); // phi too tight for r = 0
-        let err = solve(&g, &p, Retiming::zero(&g), SolverConfig::default()).unwrap_err();
+        let err = SolverSession::new(&g, &p).run().unwrap_err();
         assert!(matches!(err, SolveError::InfeasibleInitial(_)));
     }
 
@@ -454,20 +589,16 @@ mod tests {
         let r0 = Retiming::zero(&g);
         let labels = retime::LrLabels::compute(&g, &r0, ElwParams::with_phi(phi)).unwrap();
         let r_min = labels.min_short_path(&g, &r0).unwrap();
-        let with_p2 = solve(
-            &g,
-            &uniform_problem(&g, phi, r_min),
-            r0.clone(),
-            SolverConfig::default(),
-        )
-        .unwrap();
-        let without = solve(
-            &g,
-            &uniform_problem(&g, phi, r_min),
-            r0,
-            SolverConfig { enable_p2: false, ..SolverConfig::default() },
-        )
-        .unwrap();
+        let p2_problem = uniform_problem(&g, phi, r_min);
+        let with_p2 = SolverSession::new(&g, &p2_problem)
+            .initial(r0.clone())
+            .run()
+            .unwrap();
+        let without = SolverSession::new(&g, &p2_problem)
+            .config(SolverConfig::default().with_p2(false))
+            .initial(r0)
+            .run()
+            .unwrap();
         assert!(with_p2.objective_gain <= without.objective_gain);
         // The P2-constrained result satisfies the full constraint set.
         assert!(check_feasible(&g, &uniform_problem(&g, phi, r_min), &with_p2.retiming).is_ok());
@@ -480,7 +611,7 @@ mod tests {
         let c = samples::s27_like();
         let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
         let p = uniform_problem(&g, 8, 1);
-        let sol = solve(&g, &p, Retiming::zero(&g), SolverConfig::default()).unwrap();
+        let sol = SolverSession::new(&g, &p).run().unwrap();
         for v in p.positive_gain_vertices() {
             let mut r = sol.retiming.clone();
             r.add(v, -1);
@@ -499,7 +630,7 @@ mod tests {
         let labels = retime::LrLabels::compute(&g, &r0, ElwParams::with_phi(8)).unwrap();
         let r_min = labels.min_short_path(&g, &r0).unwrap();
         let p = uniform_problem(&g, 8, r_min);
-        let sol = solve(&g, &p, r0, SolverConfig::default()).unwrap();
+        let sol = SolverSession::new(&g, &p).initial(r0).run().unwrap();
         assert!(sol.stats.iterations >= sol.stats.commits);
         assert!(sol.stats.iterations >= sol.stats.constraints_added);
     }
@@ -514,7 +645,8 @@ mod tests {
             let g = RetimeGraph::from_circuit(&c, &DelayModel::default()).unwrap();
             let phi = retime::timing::clock_period(&g, &Retiming::zero(&g)).unwrap();
             let p = uniform_problem(&g, phi, 1);
-            let sol = solve(&g, &p, Retiming::zero(&g), SolverConfig::default())
+            let sol = SolverSession::new(&g, &p)
+                .run()
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(check_feasible(&g, &p, &sol.retiming).is_ok(), "seed {seed}");
             assert!(sol.objective_gain >= 0, "seed {seed}");

@@ -97,7 +97,10 @@ impl ConstraintSystem {
     ///
     /// Panics if `q` is the host (freeze `p` instead).
     pub fn add_arc(&mut self, p: VertexId, q: VertexId) -> bool {
-        assert!(q.index() != 0, "constraints against the host freeze p instead");
+        assert!(
+            q.index() != 0,
+            "constraints against the host freeze p instead"
+        );
         if p == q {
             return false;
         }

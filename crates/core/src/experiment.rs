@@ -11,14 +11,20 @@ use ser_engine::odc::Observability;
 use ser_engine::sim::{FrameTrace, SimConfig};
 use ser_engine::{analyze, vertex_observabilities, ErrorRateModel, SerConfig};
 
-use crate::algorithm::{solve, SolverConfig, SolverStats};
-use crate::init::{initialize, InitConfig};
-use crate::minobs::min_obs;
+use crate::algorithm::{SolverConfig, SolverStats};
+use crate::init::InitConfig;
 use crate::problem::Problem;
+use crate::session::SolverSession;
 use crate::SolveError;
 
 /// Configuration of a full experiment run.
+///
+/// Construct with [`RunConfig::default`] (or [`RunConfig::small`]) and
+/// chain `with_*` builders — the struct is `#[non_exhaustive]`, so
+/// literals do not compile outside this crate and future knobs are
+/// non-breaking.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct RunConfig {
     /// Simulation parameters (K vectors, n frames, warm-up, seed).
     pub sim: SimConfig,
@@ -33,10 +39,31 @@ pub struct RunConfig {
 impl RunConfig {
     /// A light configuration for tests.
     pub fn small() -> Self {
-        Self {
-            sim: SimConfig::small(),
-            ..Self::default()
-        }
+        Self::default().with_sim(SimConfig::small())
+    }
+
+    /// Sets the simulation parameters.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets the gate delay model.
+    pub fn with_delays(mut self, delays: DelayModel) -> Self {
+        self.delays = delays;
+        self
+    }
+
+    /// Sets the raw rate characterization.
+    pub fn with_rates(mut self, rates: ErrorRateModel) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Sets the §V initialization knobs.
+    pub fn with_init(mut self, init: InitConfig) -> Self {
+        self.init = init;
+        self
     }
 }
 
@@ -97,13 +124,68 @@ impl CircuitRun {
 ///
 /// # Errors
 ///
-/// Returns [`SolveError`] on infeasible initialization or solver
-/// failure, and wraps retiming/netlist errors from the substrate
-/// crates.
+/// See [`Experiment::run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Experiment::new(&circuit).config(cfg).run()` instead"
+)]
 pub fn run_circuit(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, SolveError> {
-    let graph = RetimeGraph::from_circuit(circuit, &config.delays)
-        .map_err(|e| SolveError::Initialization(e.to_string()))?;
-    let init = initialize(&graph, config.init)?;
+    Experiment::new(circuit).config(config.clone()).run()
+}
+
+/// A configured end-to-end experiment over one circuit, built in the
+/// same builder style as [`SolverSession`]:
+///
+/// ```no_run
+/// use minobswin::experiment::{Experiment, RunConfig};
+/// # use netlist::samples;
+/// # fn main() -> Result<(), minobswin::SolveError> {
+/// let run = Experiment::new(&samples::s27_like())
+///     .config(RunConfig::small())
+///     .run()?;
+/// println!("{}: SER ratio {:.3}", run.name, run.ser_ratio());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "an Experiment does nothing until `run()` is called"]
+pub struct Experiment<'a> {
+    circuit: &'a Circuit,
+    config: RunConfig,
+}
+
+impl<'a> Experiment<'a> {
+    /// Creates an experiment over `circuit` with the default
+    /// [`RunConfig`].
+    pub fn new(circuit: &'a Circuit) -> Self {
+        Self {
+            circuit,
+            config: RunConfig::default(),
+        }
+    }
+
+    /// Replaces the experiment configuration.
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the full pipeline: simulate → Problem 1 → MinObs and
+    /// MinObsWin → rebuild → SER re-analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] on infeasible initialization or solver
+    /// failure, and wraps retiming/netlist errors from the substrate
+    /// crates.
+    pub fn run(self) -> Result<CircuitRun, SolveError> {
+        run_experiment(self.circuit, &self.config)
+    }
+}
+
+fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, SolveError> {
+    let graph = RetimeGraph::from_circuit(circuit, &config.delays)?;
+    let init = config.init.initialize(&graph)?;
     let params = ElwParams {
         phi: init.phi,
         t_setup: config.init.t_setup,
@@ -129,18 +211,15 @@ pub fn run_circuit(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, 
         rates: config.rates.clone(),
         elw: params,
     };
-    let original_report =
-        analyze(circuit, &ser_config).map_err(|e| SolveError::Initialization(e.to_string()))?;
+    let original_report = analyze(circuit, &ser_config)?;
     let ff = circuit.num_registers();
 
     let evaluate = |retiming: &Retiming,
                     seconds: f64,
                     stats: SolverStats|
      -> Result<MethodResult, SolveError> {
-        let rebuilt = apply_retiming(circuit, &graph, retiming)
-            .map_err(|e| SolveError::Initialization(format!("apply failed: {e}")))?;
-        let report = analyze(&rebuilt, &ser_config)
-            .map_err(|e| SolveError::Initialization(e.to_string()))?;
+        let rebuilt = apply_retiming(circuit, &graph, retiming)?;
+        let report = analyze(&rebuilt, &ser_config)?;
         Ok(MethodResult {
             retiming: retiming.clone(),
             registers: rebuilt.num_registers(),
@@ -153,11 +232,16 @@ pub fn run_circuit(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, 
     };
 
     let t0 = Instant::now();
-    let ref_sol = min_obs(&graph, &problem, init.retiming.clone())?;
+    let ref_sol = SolverSession::new(&graph, &problem)
+        .config(SolverConfig::default().with_p2(false))
+        .initial(init.retiming.clone())
+        .run()?;
     let ref_secs = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let win_sol = solve(&graph, &problem, init.retiming.clone(), SolverConfig::default())?;
+    let win_sol = SolverSession::new(&graph, &problem)
+        .initial(init.retiming.clone())
+        .run()?;
     let win_secs = t1.elapsed().as_secs_f64();
 
     Ok(CircuitRun {
@@ -182,7 +266,10 @@ mod tests {
     #[test]
     fn s27_runs_end_to_end() {
         let c = samples::s27_like();
-        let run = run_circuit(&c, &RunConfig::small()).unwrap();
+        let run = Experiment::new(&c)
+            .config(RunConfig::small())
+            .run()
+            .unwrap();
         assert!(run.ser_original > 0.0);
         assert!(run.minobs.ser > 0.0);
         assert!(run.minobswin.ser > 0.0);
@@ -196,7 +283,10 @@ mod tests {
             .gates(120)
             .registers(24)
             .build();
-        let run = run_circuit(&c, &RunConfig::small()).unwrap();
+        let run = Experiment::new(&c)
+            .config(RunConfig::small())
+            .run()
+            .unwrap();
         // The optimizers only ever improve (or match) the scaled
         // register-observability objective; SER usually follows, but is
         // evaluated with fresh ELWs so we only sanity-check structure.
@@ -208,8 +298,14 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let c = samples::s27_like();
-        let a = run_circuit(&c, &RunConfig::small()).unwrap();
-        let b = run_circuit(&c, &RunConfig::small()).unwrap();
+        let a = Experiment::new(&c)
+            .config(RunConfig::small())
+            .run()
+            .unwrap();
+        let b = Experiment::new(&c)
+            .config(RunConfig::small())
+            .run()
+            .unwrap();
         assert_eq!(a.ser_original, b.ser_original);
         assert_eq!(a.minobswin.ser, b.minobswin.ser);
         assert_eq!(a.minobswin.retiming, b.minobswin.retiming);

@@ -223,7 +223,10 @@ impl WeightedRegularForest {
     ///
     /// Panics if `q` is the host (freeze `p` instead) or `w < 1`.
     pub fn update(&mut self, p: VertexId, q: VertexId, w: i64) -> bool {
-        assert!(q.index() != 0, "constraints against the host freeze the tree instead");
+        assert!(
+            q.index() != 0,
+            "constraints against the host freeze the tree instead"
+        );
         assert!(w >= 1, "weights are positive register counts");
         if p == q {
             return false;
@@ -308,7 +311,13 @@ impl WeightedRegularForest {
             order.push(x);
             stack.extend(self.children[x].iter().map(|&c| c as usize));
         }
-        let mut sub: Vec<SubGain> = vec![SubGain { gain: 0, has_frozen: false }; self.len()];
+        let mut sub: Vec<SubGain> = vec![
+            SubGain {
+                gain: 0,
+                has_frozen: false
+            };
+            self.len()
+        ];
         for &x in order.iter().rev() {
             let mut g = SubGain {
                 gain: self.b[x] * self.weight[x],

@@ -33,7 +33,25 @@ pub struct InitResult {
 }
 
 /// Initialization knobs.
+///
+/// Construct with [`InitConfig::default`] and refine with the `with_*`
+/// builders (the struct is `#[non_exhaustive]`); run with
+/// [`InitConfig::initialize`]:
+///
+/// ```
+/// use minobswin::init::InitConfig;
+/// # use netlist::{samples, DelayModel};
+/// # use retime::RetimeGraph;
+/// # fn main() -> Result<(), minobswin::SolveError> {
+/// # let graph =
+/// #     RetimeGraph::from_circuit(&samples::pipeline(9, 3), &DelayModel::unit())?;
+/// let init = InitConfig::default().with_hold_time(3).initialize(&graph)?;
+/// assert!(init.phi > 0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct InitConfig {
     /// Register setup time `T_s` (paper: 0).
     pub t_setup: i64,
@@ -53,13 +71,48 @@ impl Default for InitConfig {
     }
 }
 
+impl InitConfig {
+    /// Sets the register setup time `T_s`.
+    pub fn with_setup_time(mut self, t_setup: i64) -> Self {
+        self.t_setup = t_setup;
+        self
+    }
+
+    /// Sets the register hold time `T_h`.
+    pub fn with_hold_time(mut self, t_hold: i64) -> Self {
+        self.t_hold = t_hold;
+        self
+    }
+
+    /// Sets the period relaxation `ε` in percent.
+    pub fn with_epsilon_percent(mut self, percent: u32) -> Self {
+        self.epsilon_percent = percent;
+        self
+    }
+
+    /// Runs the §V initialization with these knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Initialization`] if even plain min-period
+    /// retiming fails (impossible for graphs built from valid
+    /// circuits).
+    pub fn initialize(self, graph: &RetimeGraph) -> Result<InitResult, SolveError> {
+        run_init(graph, self)
+    }
+}
+
 /// Runs the §V initialization.
 ///
 /// # Errors
 ///
-/// Returns [`SolveError::Initialization`] if even plain min-period
-/// retiming fails (impossible for graphs built from valid circuits).
+/// See [`InitConfig::initialize`].
+#[deprecated(since = "0.2.0", note = "use `InitConfig::initialize(&graph)` instead")]
 pub fn initialize(graph: &RetimeGraph, config: InitConfig) -> Result<InitResult, SolveError> {
+    run_init(graph, config)
+}
+
+fn run_init(graph: &RetimeGraph, config: InitConfig) -> Result<InitResult, SolveError> {
     let relax = |phi: i64| phi + (phi * config.epsilon_percent as i64 + 99) / 100;
 
     if let Some(sh) = setup_hold::min_period_setup_hold(graph, config.t_setup, config.t_hold) {
@@ -90,8 +143,7 @@ pub fn initialize(graph: &RetimeGraph, config: InitConfig) -> Result<InitResult,
     // (P2 then never binds beyond what any single gate provides).
     let mp = minperiod::min_period(graph).map_err(|e| SolveError::Initialization(e.to_string()))?;
     let phi = relax(mp.phi);
-    let retiming = minperiod::feasible_retiming(graph, phi - config.t_setup)
-        .unwrap_or(mp.retiming);
+    let retiming = minperiod::feasible_retiming(graph, phi - config.t_setup).unwrap_or(mp.retiming);
     Ok(InitResult {
         phi,
         r_min: min_gate_delay(graph),
@@ -124,7 +176,7 @@ mod tests {
             ("s27", samples::s27_like()),
         ] {
             let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
-            let init = initialize(&g, InitConfig::default()).unwrap();
+            let init = InitConfig::default().initialize(&g).unwrap();
             let params = ElwParams {
                 phi: init.phi,
                 t_setup: 0,
@@ -143,7 +195,7 @@ mod tests {
     fn relaxation_adds_ten_percent() {
         let c = samples::pipeline(9, 3);
         let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
-        let init = initialize(&g, InitConfig::default()).unwrap();
+        let init = InitConfig::default().initialize(&g).unwrap();
         assert!(init.phi > init.phi_min);
         assert!(init.phi <= init.phi_min + init.phi_min / 10 + 1);
     }
@@ -153,14 +205,10 @@ mod tests {
         // Force the fallback with an impossible hold time.
         let c = samples::pipeline(4, 4);
         let g = RetimeGraph::from_circuit(&c, &DelayModel::unit()).unwrap();
-        let init = initialize(
-            &g,
-            InitConfig {
-                t_hold: 100,
-                ..InitConfig::default()
-            },
-        )
-        .unwrap();
+        let init = InitConfig::default()
+            .with_hold_time(100)
+            .initialize(&g)
+            .unwrap();
         assert!(!init.used_setup_hold);
         assert_eq!(init.r_min, 1, "minimum unit gate delay");
     }
@@ -173,7 +221,7 @@ mod tests {
                 .registers(20)
                 .build();
             let g = RetimeGraph::from_circuit(&c, &DelayModel::default()).unwrap();
-            let init = initialize(&g, InitConfig::default()).unwrap();
+            let init = InitConfig::default().initialize(&g).unwrap();
             assert!(g.check_nonnegative(&init.retiming).is_ok(), "seed {seed}");
             assert!(init.r_min >= 1, "seed {seed}");
         }

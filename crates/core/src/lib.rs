@@ -14,22 +14,24 @@
 //! * [`Problem`]: the instance (gain coefficients `b(v)` from
 //!   observability counts, clocking parameters, `R_min`),
 //! * [`forest::WeightedRegularForest`]: the paper's §IV data structure,
-//! * [`algorithm::solve`]: **Algorithm 1 (MinObsWin)**,
-//! * [`minobs::min_obs`]: the *Efficient MinObs* baseline of ref \[17\]
-//!   (Algorithm 1 with the P2 machinery disabled),
-//! * [`init::initialize`]: the §V choice of `Φ`, `R_min` and the
+//! * [`SolverSession`]: **Algorithm 1 (MinObsWin)** — and, with
+//!   [`algorithm::SolverConfig::with_p2`]`(false)`, the *Efficient
+//!   MinObs* baseline of ref \[17\],
+//! * [`incremental::IncrementalChecker`]: the dirty-cone constraint
+//!   engine behind the solver's per-move feasibility checks,
+//! * [`init::InitConfig`]: the §V choice of `Φ`, `R_min` and the
 //!   starting retiming,
-//! * [`experiment::run_circuit`]: the end-to-end driver producing a
+//! * [`experiment::Experiment`]: the end-to-end driver producing a
 //!   Table-I row (SER before/after both methods, Δ#FF, timings, `#J`).
 //!
 //! # Examples
 //!
 //! ```
-//! use minobswin::experiment::{run_circuit, RunConfig};
+//! use minobswin::experiment::{Experiment, RunConfig};
 //! use netlist::samples;
 //! # fn main() -> Result<(), minobswin::SolveError> {
 //! let circuit = samples::s27_like();
-//! let run = run_circuit(&circuit, &RunConfig::small())?;
+//! let run = Experiment::new(&circuit).config(RunConfig::small()).run()?;
 //! println!(
 //!     "SER {:.3e} -> MinObs {:.3e} / MinObsWin {:.3e}",
 //!     run.ser_original, run.minobs.ser, run.minobswin.ser
@@ -45,18 +47,30 @@ pub mod algorithm;
 pub mod closure;
 pub mod experiment;
 pub mod forest;
+pub mod incremental;
 pub mod init;
 pub mod minobs;
 mod problem;
+pub mod session;
 pub mod verify;
 
 pub use problem::Problem;
+pub use session::SolverSession;
 
 use std::error::Error;
 use std::fmt;
+use std::io;
 
 /// Errors of the MinObsWin solver pipeline.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// This is the unifying error type of the suite: the substrate crates'
+/// errors ([`netlist::NetlistError`], [`retime::RetimeError`], and the
+/// `ser` engine's, which *are* `RetimeError`) convert into it via
+/// `From`, so pipeline code — including the `retimer` CLI — composes
+/// with `?`. [`SolveError::exit_code`] maps every variant onto the
+/// CLI's stable exit codes.
+#[derive(Debug)]
+#[non_exhaustive]
 pub enum SolveError {
     /// The provided starting retiming violates the instance.
     InfeasibleInitial(String),
@@ -65,6 +79,27 @@ pub enum SolveError {
     IterationLimit(usize),
     /// §V initialization failed.
     Initialization(String),
+    /// A netlist-level failure (parsing, structure, or wrapped I/O).
+    Netlist(netlist::NetlistError),
+    /// A retiming-substrate failure (also covers the `ser` engine,
+    /// whose analyses report [`retime::RetimeError`]).
+    Retime(retime::RetimeError),
+    /// An I/O failure outside the netlist parser.
+    Io(io::Error),
+}
+
+impl SolveError {
+    /// The stable CLI exit code for this error: `1` infeasible
+    /// instance, `2` I/O or parse failure, `3` internal error.
+    /// (Success is `0`, never an error.)
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            SolveError::InfeasibleInitial(_) | SolveError::Initialization(_) => 1,
+            SolveError::Retime(retime::RetimeError::Infeasible(_)) => 1,
+            SolveError::Netlist(_) | SolveError::Io(_) => 2,
+            SolveError::IterationLimit(_) | SolveError::Retime(_) => 3,
+        }
+    }
 }
 
 impl fmt::Display for SolveError {
@@ -77,11 +112,41 @@ impl fmt::Display for SolveError {
                 write!(f, "iteration safety cap hit after {n} iterations")
             }
             SolveError::Initialization(why) => write!(f, "initialization failed: {why}"),
+            SolveError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SolveError::Retime(e) => write!(f, "retiming error: {e}"),
+            SolveError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
 
-impl Error for SolveError {}
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::Netlist(e) => Some(e),
+            SolveError::Retime(e) => Some(e),
+            SolveError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<netlist::NetlistError> for SolveError {
+    fn from(e: netlist::NetlistError) -> Self {
+        SolveError::Netlist(e)
+    }
+}
+
+impl From<retime::RetimeError> for SolveError {
+    fn from(e: retime::RetimeError) -> Self {
+        SolveError::Retime(e)
+    }
+}
+
+impl From<io::Error> for SolveError {
+    fn from(e: io::Error) -> Self {
+        SolveError::Io(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -97,5 +162,36 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SolveError>();
+    }
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(SolveError::InfeasibleInitial(String::new()).exit_code(), 1);
+        assert_eq!(SolveError::Initialization(String::new()).exit_code(), 1);
+        assert_eq!(
+            SolveError::from(retime::RetimeError::Infeasible("no slack".into())).exit_code(),
+            1
+        );
+        assert_eq!(
+            SolveError::from(io::Error::other("disk on fire")).exit_code(),
+            2
+        );
+        assert_eq!(
+            SolveError::from(netlist::NetlistError::EmptyCircuit).exit_code(),
+            2
+        );
+        assert_eq!(SolveError::IterationLimit(1).exit_code(), 3);
+        assert_eq!(
+            SolveError::from(retime::RetimeError::ZeroWeightCycle).exit_code(),
+            3
+        );
+    }
+
+    #[test]
+    fn wrapped_errors_expose_source() {
+        use std::error::Error as _;
+        let e = SolveError::from(retime::RetimeError::ZeroWeightCycle);
+        assert!(e.source().is_some());
+        assert!(SolveError::IterationLimit(0).source().is_none());
     }
 }

@@ -7,7 +7,7 @@
 
 use retime::{RetimeGraph, Retiming};
 
-use crate::algorithm::{solve, Solution, SolverConfig};
+use crate::algorithm::{run_solver, Solution, SolverConfig};
 use crate::problem::Problem;
 use crate::SolveError;
 
@@ -16,25 +16,28 @@ use crate::SolveError;
 ///
 /// # Errors
 ///
-/// See [`solve`].
+/// See [`crate::SolverSession::run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `minobswin::SolverSession::new(graph, problem)\
+            .config(SolverConfig::default().with_p2(false)).initial(r).run()` instead"
+)]
 pub fn min_obs(
     graph: &RetimeGraph,
     problem: &Problem,
     initial: Retiming,
 ) -> Result<Solution, SolveError> {
-    solve(
+    run_solver(
         graph,
         problem,
         initial,
-        SolverConfig {
-            enable_p2: false,
-            ..SolverConfig::default()
-        },
+        SolverConfig::default().with_p2(false),
     )
 }
 
 #[cfg(test)]
 mod tests {
+    #[allow(deprecated)]
     use super::*;
     use netlist::{samples, DelayModel};
     use retime::{minarea_ref, ElwParams, VertexId};
@@ -52,7 +55,10 @@ mod tests {
             let phi = retime::timing::clock_period(&g, &Retiming::zero(&g)).unwrap();
             let counts = vec![1i64; g.num_vertices()];
             let p = Problem::from_observability_counts(&g, &counts, ElwParams::with_phi(phi), 1);
-            let sol = min_obs(&g, &p, Retiming::zero(&g)).unwrap();
+            let sol = crate::SolverSession::new(&g, &p)
+                .config(SolverConfig::default().with_p2(false))
+                .run()
+                .unwrap();
             // Exact reference: min Σ b·r s.t. P0 + P1(phi − ts).
             let exact = minarea_ref::solve_exact(&g, &p.b, Some(phi - p.params.t_setup)).unwrap();
             let forest_obj: i64 = (1..g.num_vertices())
@@ -85,7 +91,10 @@ mod tests {
                 .map(|i| if i == 0 { 64 } else { rng.gen_range(65) as i64 })
                 .collect();
             let p = Problem::from_observability_counts(&g, &counts, ElwParams::with_phi(phi), 1);
-            let sol = min_obs(&g, &p, Retiming::zero(&g)).unwrap();
+            let sol = crate::SolverSession::new(&g, &p)
+                .config(SolverConfig::default().with_p2(false))
+                .run()
+                .unwrap();
             let exact = minarea_ref::solve_exact(&g, &p.b, Some(phi)).unwrap();
             let forest_obj: i64 = (1..g.num_vertices())
                 .map(|v| p.b[v] * sol.retiming.get(VertexId::new(v)))

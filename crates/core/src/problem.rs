@@ -110,19 +110,12 @@ impl Problem {
     /// `Σ_e cnt(from)·w_r(e)` for a retiming, given the same counts the
     /// instance was built from. Decreases exactly as [`Problem::objective`]
     /// increases.
-    pub fn register_observability(
-        &self,
-        graph: &RetimeGraph,
-        counts: &[i64],
-        r: &Retiming,
-    ) -> i64 {
+    pub fn register_observability(&self, graph: &RetimeGraph, counts: &[i64], r: &Retiming) -> i64 {
         graph
             .edges()
             .iter()
             .enumerate()
-            .map(|(i, e)| {
-                counts[e.from.index()] * graph.retimed_weight(retime::EdgeId::new(i), r)
-            })
+            .map(|(i, e)| counts[e.from.index()] * graph.retimed_weight(retime::EdgeId::new(i), r))
             .sum()
     }
 
@@ -153,7 +146,9 @@ mod tests {
     fn objective_tracks_register_observability() {
         let (_, g) = setup();
         // Arbitrary but deterministic counts.
-        let counts: Vec<i64> = (0..g.num_vertices() as i64).map(|i| (i * 37) % 100).collect();
+        let counts: Vec<i64> = (0..g.num_vertices() as i64)
+            .map(|i| (i * 37) % 100)
+            .collect();
         let p = Problem::from_observability_counts(&g, &counts, ElwParams::with_phi(20), 1);
         let r0 = Retiming::zero(&g);
         let base_obs = p.register_observability(&g, &counts, &r0);
@@ -235,7 +230,6 @@ mod tests {
 
     #[test]
     fn area_weighted_solve_trades_registers_for_observability() {
-        use crate::algorithm::{solve, SolverConfig};
         // With a huge area weight the objective degenerates to min-area
         // retiming: the solver must not lose registers feasibility and
         // must reduce (or keep) the per-edge register count.
@@ -244,7 +238,7 @@ mod tests {
         let counts = vec![1i64; g.num_vertices()];
         let p = Problem::from_observability_counts(&g, &counts, ElwParams::with_phi(20), 1)
             .with_area_weight(&g, 1000);
-        let sol = solve(&g, &p, Retiming::zero(&g), SolverConfig::default()).unwrap();
+        let sol = crate::SolverSession::new(&g, &p).run().unwrap();
         assert!(g.retimed_registers(&sol.retiming) <= g.retimed_registers(&Retiming::zero(&g)));
     }
 

@@ -46,7 +46,7 @@ pub fn find_violation(graph: &RetimeGraph, problem: &Problem, r: &Retiming) -> O
     if let Some(v) = labels.find_p2_violation(graph, r, problem.r_min) {
         return Some(Violation::P2(v));
     }
-    if let Some(v) = labels.find_p1_violation(graph, r, &order) {
+    if let Some(v) = labels.find_p1_violation(graph, r) {
         return Some(Violation::P1(v));
     }
     None
@@ -71,7 +71,11 @@ pub fn check_feasible(
 
 /// Counts all violations (diagnostics; the solver only ever needs the
 /// first).
-pub fn count_violations(graph: &RetimeGraph, problem: &Problem, r: &Retiming) -> (usize, usize, usize) {
+pub fn count_violations(
+    graph: &RetimeGraph,
+    problem: &Problem,
+    r: &Retiming,
+) -> (usize, usize, usize) {
     let mut p0 = 0;
     for i in 0..graph.num_edges() {
         if graph.retimed_weight(EdgeId::new(i), r) < 0 {

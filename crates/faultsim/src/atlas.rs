@@ -216,10 +216,7 @@ impl FaultAtlas {
     /// the driving gate for a register). `None` if the gate is not a
     /// strike site.
     pub fn effective_node(&self, gate: GateId) -> Option<GateId> {
-        self.sites
-            .iter()
-            .find(|s| s.gate == gate)
-            .map(|s| s.node)
+        self.sites.iter().find(|s| s.gate == gate).map(|s| s.node)
     }
 
     /// The logic-detection mask of a site gate: bit `k` set ⟺ a flip of
@@ -305,11 +302,8 @@ fn resimulate_node(circuit: &Circuit, trace: &FrameTrace, victim: GateId) -> Nod
             if gate.kind() == GateKind::Input {
                 continue;
             }
-            let fanins: Vec<&Signature> = gate
-                .fanins()
-                .iter()
-                .map(|&x| &faulty[x.index()])
-                .collect();
+            let fanins: Vec<&Signature> =
+                gate.fanins().iter().map(|&x| &faulty[x.index()]).collect();
             let mut value = eval_gate(gate.kind(), &fanins, bits);
             if f == 0 && g == victim {
                 value = value.not();
@@ -398,10 +392,7 @@ mod tests {
         assert_eq!(a.sites.len(), b.sites.len());
         for (sa, sb) in a.sites.iter().zip(&b.sites) {
             assert_eq!(sa.gate, sb.gate);
-            assert_eq!(
-                a.tables_of_site(sa).detected,
-                b.tables_of_site(sb).detected
-            );
+            assert_eq!(a.tables_of_site(sa).detected, b.tables_of_site(sb).detected);
             assert_eq!(a.tables_of_site(sa).elw, b.tables_of_site(sb).elw);
         }
     }

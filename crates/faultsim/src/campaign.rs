@@ -480,12 +480,13 @@ mod tests {
     fn wider_pulses_latch_no_less_often() {
         let c = samples::s27_like();
         let ser = SerConfig::small(30);
-        let narrow =
-            run_campaign(&c, &ser, &CampaignConfig::new(20_000).with_seed(9)).unwrap();
+        let narrow = run_campaign(&c, &ser, &CampaignConfig::new(20_000).with_seed(9)).unwrap();
         let wide = run_campaign(
             &c,
             &ser,
-            &CampaignConfig::new(20_000).with_seed(9).with_pulse_width(5.0),
+            &CampaignConfig::new(20_000)
+                .with_seed(9)
+                .with_pulse_width(5.0),
         )
         .unwrap();
         assert!(wide.latches >= narrow.latches);

@@ -89,8 +89,7 @@ impl CrossCheck {
             .sites
             .iter()
             .map(|s| {
-                let analytic_p =
-                    report.obs[s.gate.index()] * report.elw_fraction(s.gate);
+                let analytic_p = report.obs[s.gate.index()] * report.elw_fraction(s.gate);
                 let empirical_p = s.latch_probability();
                 let ci = s.latch_ci(campaign.z);
                 let within = inside_widened(analytic_p, ci, tolerance);
@@ -201,8 +200,7 @@ mod tests {
         let c = samples::s27_like();
         let ser = SerConfig::small(30);
         let report = analyze(&c, &ser).unwrap();
-        let campaign =
-            run_campaign(&c, &ser, &CampaignConfig::new(20_000).with_seed(5)).unwrap();
+        let campaign = run_campaign(&c, &ser, &CampaignConfig::new(20_000).with_seed(5)).unwrap();
         let check = CrossCheck::compare(&c, &report, &campaign, DEFAULT_TOLERANCE);
         assert_eq!(check.sites.len(), campaign.sites.len());
         assert!(check.summary().contains("cross-check"));

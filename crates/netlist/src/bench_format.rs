@@ -133,7 +133,11 @@ pub fn write(circuit: &Circuit) -> String {
         match gate.kind() {
             GateKind::Input | GateKind::Output => continue,
             GateKind::Const0 | GateKind::Const1 => {
-                let func = if gate.kind() == GateKind::Const1 { "OR" } else { "AND" };
+                let func = if gate.kind() == GateKind::Const1 {
+                    "OR"
+                } else {
+                    "AND"
+                };
                 out.push_str(&format!(
                     "{} = {}() # constant has no .bench spelling\n",
                     gate.name(),
@@ -147,7 +151,12 @@ pub fn write(circuit: &Circuit) -> String {
                     .iter()
                     .map(|&f| circuit.gate(f).name())
                     .collect();
-                out.push_str(&format!("{} = {}({})\n", gate.name(), func, args.join(", ")));
+                out.push_str(&format!(
+                    "{} = {}({})\n",
+                    gate.name(),
+                    func,
+                    args.join(", ")
+                ));
             }
         }
     }

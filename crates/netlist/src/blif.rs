@@ -232,33 +232,61 @@ fn classify_cover(fanins: &[&str], rows: &[(String, char)]) -> Option<CoverKind>
     // describe the off-set of the complemented function, i.e. a single
     // all-'1' row with value 0 means NAND.
     if rows.len() == 1 && rows[0].0.chars().all(|c| c == '1') {
-        return Some(CoverKind::Gate(if on_set { GateKind::And } else { GateKind::Nand }));
+        return Some(CoverKind::Gate(if on_set {
+            GateKind::And
+        } else {
+            GateKind::Nand
+        }));
     }
     // OR: n rows, row i has '1' at position i and '-' elsewhere.
     if rows.len() == n && is_one_hot(rows, '1') {
-        return Some(CoverKind::Gate(if on_set { GateKind::Or } else { GateKind::Nor }));
+        return Some(CoverKind::Gate(if on_set {
+            GateKind::Or
+        } else {
+            GateKind::Nor
+        }));
     }
     // NOR via on-set: single row of all '0' → 1; AND-of-complements is
     // NOR. Dually all-'0' with value 0 is OR... no: f=1 iff all inputs 0
     // is NOR; f=0 iff all inputs 0 (i.e. off-set) means f = OR.
     if rows.len() == 1 && rows[0].0.chars().all(|c| c == '0') {
-        return Some(CoverKind::Gate(if on_set { GateKind::Nor } else { GateKind::Or }));
+        return Some(CoverKind::Gate(if on_set {
+            GateKind::Nor
+        } else {
+            GateKind::Or
+        }));
     }
     // NAND via one-hot '0' rows: f=1 if any input is 0.
     if rows.len() == n && is_one_hot(rows, '0') {
-        return Some(CoverKind::Gate(if on_set { GateKind::Nand } else { GateKind::And }));
+        return Some(CoverKind::Gate(if on_set {
+            GateKind::Nand
+        } else {
+            GateKind::And
+        }));
     }
     // XOR/XNOR: 2^(n-1) fully-specified rows with odd (resp. even) parity.
-    if rows.len() == (1usize << (n - 1)) && rows.iter().all(|(p, _)| p.chars().all(|c| c == '0' || c == '1')) {
+    if rows.len() == (1usize << (n - 1))
+        && rows
+            .iter()
+            .all(|(p, _)| p.chars().all(|c| c == '0' || c == '1'))
+    {
         let parities: Vec<bool> = rows
             .iter()
             .map(|(p, _)| p.chars().filter(|&c| c == '1').count() % 2 == 1)
             .collect();
         if parities.iter().all(|&b| b) {
-            return Some(CoverKind::Gate(if on_set { GateKind::Xor } else { GateKind::Xnor }));
+            return Some(CoverKind::Gate(if on_set {
+                GateKind::Xor
+            } else {
+                GateKind::Xnor
+            }));
         }
         if parities.iter().all(|&b| !b) {
-            return Some(CoverKind::Gate(if on_set { GateKind::Xnor } else { GateKind::Xor }));
+            return Some(CoverKind::Gate(if on_set {
+                GateKind::Xnor
+            } else {
+                GateKind::Xor
+            }));
         }
     }
     None
@@ -324,7 +352,11 @@ pub fn write(circuit: &Circuit) -> String {
             .collect();
         let n = fanin_names.len();
         let header = |out: &mut String| {
-            out.push_str(&format!(".names {} {}\n", fanin_names.join(" "), gate.name()));
+            out.push_str(&format!(
+                ".names {} {}\n",
+                fanin_names.join(" "),
+                gate.name()
+            ));
         };
         match gate.kind() {
             GateKind::Input | GateKind::Output | GateKind::Dff => {}
@@ -458,8 +490,14 @@ mod tests {
         b.constant("k1", true).unwrap();
         b.constant("k0", false).unwrap();
         b.dff("q", "g_xor").unwrap();
-        b.gate("mix", GateKind::And, &["q", "g_not", "g_buf", "k1", "k0", "g_nand", "g_nor", "g_xnor"])
-            .unwrap();
+        b.gate(
+            "mix",
+            GateKind::And,
+            &[
+                "q", "g_not", "g_buf", "k1", "k0", "g_nand", "g_nor", "g_xnor",
+            ],
+        )
+        .unwrap();
         b.output("mix").unwrap();
         let c1 = b.build().unwrap();
         let text = write(&c1);
@@ -498,7 +536,10 @@ mod tests {
     fn constant_covers() {
         let src = ".model c\n.inputs a\n.outputs y\n.names one\n1\n.names a one y\n11 1\n.end\n";
         let c = parse(src).unwrap();
-        assert_eq!(c.find("one").map(|g| c.gate(g).kind()), Some(GateKind::Const1));
+        assert_eq!(
+            c.find("one").map(|g| c.gate(g).kind()),
+            Some(GateKind::Const1)
+        );
     }
 
     #[test]

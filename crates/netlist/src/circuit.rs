@@ -268,7 +268,11 @@ impl CircuitBuilder {
     /// Returns [`NetlistError::DuplicateSignal`] if `name` is already
     /// driven.
     pub fn constant(&mut self, name: &str, value: bool) -> Result<GateId, NetlistError> {
-        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         self.push(name, kind, Vec::new())
     }
 
@@ -433,10 +437,7 @@ mod tests {
         let c = toy();
         for (id, gate) in c.iter() {
             for &f in gate.fanins() {
-                assert!(
-                    c.fanouts(f).contains(&id),
-                    "{f} should list {id} as fanout"
-                );
+                assert!(c.fanouts(f).contains(&id), "{f} should list {id} as fanout");
             }
         }
     }

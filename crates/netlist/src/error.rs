@@ -53,10 +53,16 @@ impl fmt::Display for NetlistError {
                 write!(f, "signal `{name}` is driven more than once")
             }
             NetlistError::InvalidArity { gate, kind, got } => {
-                write!(f, "gate `{gate}` of kind {kind} has invalid fanin count {got}")
+                write!(
+                    f,
+                    "gate `{gate}` of kind {kind} has invalid fanin count {got}"
+                )
             }
             NetlistError::CombinationalCycle { witness } => {
-                write!(f, "combinational cycle through gate `{witness}` (no register on the loop)")
+                write!(
+                    f,
+                    "combinational cycle through gate `{witness}` (no register on the loop)"
+                )
             }
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -90,7 +96,10 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = NetlistError::UnknownSignal("n42".into());
         assert_eq!(e.to_string(), "signal `n42` is used but never defined");
-        let e = NetlistError::Parse { line: 7, message: "bad token".into() };
+        let e = NetlistError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

@@ -214,7 +214,8 @@ impl GeneratorConfig {
         let lo = self.num_gates / 2;
         for rname in &reg_names {
             let pick = lo + rng.gen_range(self.num_gates - lo);
-            b.dff(rname, &gate_names[pick]).expect("unique register name");
+            b.dff(rname, &gate_names[pick])
+                .expect("unique register name");
         }
         // Leftover inline budget (e.g. tiny circuits): burn it as a
         // register chain on the last gate so the configured count
@@ -259,15 +260,24 @@ impl GeneratorConfig {
             b.output(&gate_names[g]).expect("distinct outputs");
         }
 
-        b.build().expect("generator invariants guarantee a valid circuit")
+        b.build()
+            .expect("generator invariants guarantee a valid circuit")
     }
 
     fn pick_kind(&self, fanins: usize, rng: &mut Xoshiro256) -> GateKind {
         if fanins == 1 {
-            return if rng.gen_bool(0.7) { GateKind::Not } else { GateKind::Buf };
+            return if rng.gen_bool(0.7) {
+                GateKind::Not
+            } else {
+                GateKind::Buf
+            };
         }
         if rng.gen_bool(self.xor_fraction) {
-            return if rng.gen_bool(0.5) { GateKind::Xor } else { GateKind::Xnor };
+            return if rng.gen_bool(0.5) {
+                GateKind::Xor
+            } else {
+                GateKind::Xnor
+            };
         }
         match rng.gen_range(4) {
             0 => GateKind::And,
@@ -320,27 +330,132 @@ pub struct Table1Row {
 
 /// The statistics columns of Table I for all 21 circuits.
 pub const TABLE1_ROWS: [Table1Row; 21] = [
-    Table1Row { name: "s13207", v: 7952, e: 10896, ff: 1508 },
-    Table1Row { name: "s15850.1", v: 9773, e: 13566, ff: 1567 },
-    Table1Row { name: "s35932", v: 16066, e: 28588, ff: 5814 },
-    Table1Row { name: "s38417", v: 22180, e: 31127, ff: 2806 },
-    Table1Row { name: "s38584.1", v: 19254, e: 33060, ff: 7371 },
-    Table1Row { name: "b14_1_opt", v: 4049, e: 9036, ff: 2382 },
-    Table1Row { name: "b14_opt", v: 5348, e: 11849, ff: 2041 },
-    Table1Row { name: "b15_1_opt", v: 7421, e: 16946, ff: 2798 },
-    Table1Row { name: "b15_opt", v: 7023, e: 15856, ff: 2415 },
-    Table1Row { name: "b17_1_opt", v: 23026, e: 52376, ff: 8791 },
-    Table1Row { name: "b17_opt", v: 22758, e: 51622, ff: 7787 },
-    Table1Row { name: "b18_1_opt", v: 68282, e: 151746, ff: 21027 },
-    Table1Row { name: "b18_opt", v: 69914, e: 155355, ff: 20907 },
-    Table1Row { name: "b19_1", v: 212729, e: 410577, ff: 59580 },
-    Table1Row { name: "b19", v: 224625, e: 433583, ff: 60801 },
-    Table1Row { name: "b20_1_opt", v: 10166, e: 22456, ff: 3462 },
-    Table1Row { name: "b20_opt", v: 11958, e: 26479, ff: 4761 },
-    Table1Row { name: "b21_1_opt", v: 9663, e: 21246, ff: 2451 },
-    Table1Row { name: "b21_opt", v: 12135, e: 26686, ff: 4186 },
-    Table1Row { name: "b22_1_opt", v: 14957, e: 32663, ff: 4398 },
-    Table1Row { name: "b22_opt", v: 17330, e: 37941, ff: 5556 },
+    Table1Row {
+        name: "s13207",
+        v: 7952,
+        e: 10896,
+        ff: 1508,
+    },
+    Table1Row {
+        name: "s15850.1",
+        v: 9773,
+        e: 13566,
+        ff: 1567,
+    },
+    Table1Row {
+        name: "s35932",
+        v: 16066,
+        e: 28588,
+        ff: 5814,
+    },
+    Table1Row {
+        name: "s38417",
+        v: 22180,
+        e: 31127,
+        ff: 2806,
+    },
+    Table1Row {
+        name: "s38584.1",
+        v: 19254,
+        e: 33060,
+        ff: 7371,
+    },
+    Table1Row {
+        name: "b14_1_opt",
+        v: 4049,
+        e: 9036,
+        ff: 2382,
+    },
+    Table1Row {
+        name: "b14_opt",
+        v: 5348,
+        e: 11849,
+        ff: 2041,
+    },
+    Table1Row {
+        name: "b15_1_opt",
+        v: 7421,
+        e: 16946,
+        ff: 2798,
+    },
+    Table1Row {
+        name: "b15_opt",
+        v: 7023,
+        e: 15856,
+        ff: 2415,
+    },
+    Table1Row {
+        name: "b17_1_opt",
+        v: 23026,
+        e: 52376,
+        ff: 8791,
+    },
+    Table1Row {
+        name: "b17_opt",
+        v: 22758,
+        e: 51622,
+        ff: 7787,
+    },
+    Table1Row {
+        name: "b18_1_opt",
+        v: 68282,
+        e: 151746,
+        ff: 21027,
+    },
+    Table1Row {
+        name: "b18_opt",
+        v: 69914,
+        e: 155355,
+        ff: 20907,
+    },
+    Table1Row {
+        name: "b19_1",
+        v: 212729,
+        e: 410577,
+        ff: 59580,
+    },
+    Table1Row {
+        name: "b19",
+        v: 224625,
+        e: 433583,
+        ff: 60801,
+    },
+    Table1Row {
+        name: "b20_1_opt",
+        v: 10166,
+        e: 22456,
+        ff: 3462,
+    },
+    Table1Row {
+        name: "b20_opt",
+        v: 11958,
+        e: 26479,
+        ff: 4761,
+    },
+    Table1Row {
+        name: "b21_1_opt",
+        v: 9663,
+        e: 21246,
+        ff: 2451,
+    },
+    Table1Row {
+        name: "b21_opt",
+        v: 12135,
+        e: 26686,
+        ff: 4186,
+    },
+    Table1Row {
+        name: "b22_1_opt",
+        v: 14957,
+        e: 32663,
+        ff: 4398,
+    },
+    Table1Row {
+        name: "b22_opt",
+        v: 17330,
+        e: 37941,
+        ff: 5556,
+    },
 ];
 
 /// Builds the synthetic twin of one Table I circuit, scaled down by
@@ -390,15 +505,27 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a = GeneratorConfig::new("d", 7).gates(150).registers(20).build();
-        let b = GeneratorConfig::new("d", 7).gates(150).registers(20).build();
+        let a = GeneratorConfig::new("d", 7)
+            .gates(150)
+            .registers(20)
+            .build();
+        let b = GeneratorConfig::new("d", 7)
+            .gates(150)
+            .registers(20)
+            .build();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = GeneratorConfig::new("d", 7).gates(150).registers(20).build();
-        let b = GeneratorConfig::new("d", 8).gates(150).registers(20).build();
+        let a = GeneratorConfig::new("d", 7)
+            .gates(150)
+            .registers(20)
+            .build();
+        let b = GeneratorConfig::new("d", 8)
+            .gates(150)
+            .registers(20)
+            .build();
         assert_ne!(a, b);
     }
 
@@ -417,7 +544,10 @@ mod tests {
 
     #[test]
     fn no_dead_logic() {
-        let c = GeneratorConfig::new("c", 9).gates(200).registers(30).build();
+        let c = GeneratorConfig::new("c", 9)
+            .gates(200)
+            .registers(30)
+            .build();
         for (id, gate) in c.iter() {
             if gate.kind() == GateKind::Output {
                 continue;
@@ -443,10 +573,11 @@ mod tests {
         // Logic-gate fanin references; duplicates are dropped by the
         // generator so allow 15% slack below, plus PO marker edges above.
         assert!(
-            stats.edges >= target * 85 / 100 && stats.edges <= target + c.outputs().len() + c.num_registers(),
+            stats.edges >= target * 85 / 100
+                && stats.edges <= target + c.outputs().len() + c.num_registers(),
             "edges = {} vs target {}",
-            stats.edges
-            , target
+            stats.edges,
+            target
         );
     }
 

@@ -40,7 +40,6 @@
 pub mod bench_format;
 pub mod blif;
 mod circuit;
-pub mod verilog;
 mod delay;
 mod error;
 mod gate;
@@ -48,6 +47,7 @@ pub mod generator;
 pub mod rng;
 pub mod samples;
 pub mod stats;
+pub mod verilog;
 
 pub use circuit::{Circuit, CircuitBuilder};
 pub use delay::DelayModel;

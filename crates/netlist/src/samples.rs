@@ -45,7 +45,8 @@ pub fn pipeline(stages: usize, regs_every: usize) -> Circuit {
         let gname = format!("s{i}");
         // Mix in the feedback register at the front gate.
         if i == 0 {
-            b.gate(&gname, GateKind::Nand, &[prev.as_str(), "fb"]).unwrap();
+            b.gate(&gname, GateKind::Nand, &[prev.as_str(), "fb"])
+                .unwrap();
         } else {
             b.gate(&gname, GateKind::Not, &[prev.as_str()]).unwrap();
         }

@@ -136,16 +136,23 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
     let mut b = builder.ok_or(NetlistError::EmptyCircuit)?;
     for name in &inputs {
         b.gate(name, GateKind::Input, &[])
-            .map_err(|e| NetlistError::Parse { line: 0, message: e.to_string() })?;
+            .map_err(|e| NetlistError::Parse {
+                line: 0,
+                message: e.to_string(),
+            })?;
     }
     for (out, kind, fanins) in &pending_gates {
         let refs: Vec<&str> = fanins.iter().map(String::as_str).collect();
-        b.gate(out, *kind, &refs)
-            .map_err(|e| NetlistError::Parse { line: 0, message: e.to_string() })?;
+        b.gate(out, *kind, &refs).map_err(|e| NetlistError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
     }
     for (q, d) in &pending_dffs {
-        b.dff(q, d)
-            .map_err(|e| NetlistError::Parse { line: 0, message: e.to_string() })?;
+        b.dff(q, d).map_err(|e| NetlistError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
     }
     for out in &outputs {
         b.output(out)?;
@@ -184,7 +191,11 @@ pub fn write(circuit: &Circuit) -> String {
         .collect();
     let mut ports = pis.clone();
     ports.extend(pos.iter().cloned());
-    out.push_str(&format!("module {} ({});\n", sanitize(circuit.name()), ports.join(", ")));
+    out.push_str(&format!(
+        "module {} ({});\n",
+        sanitize(circuit.name()),
+        ports.join(", ")
+    ));
     if !pis.is_empty() {
         out.push_str(&format!("  input {};\n", pis.join(", ")));
     }
@@ -193,9 +204,7 @@ pub fn write(circuit: &Circuit) -> String {
     }
     let wires: Vec<String> = circuit
         .iter()
-        .filter(|(_, g)| {
-            !matches!(g.kind(), GateKind::Input | GateKind::Output)
-        })
+        .filter(|(_, g)| !matches!(g.kind(), GateKind::Input | GateKind::Output))
         .map(|(_, g)| sanitize(g.name()))
         .collect();
     if !wires.is_empty() {
@@ -225,7 +234,10 @@ pub fn write(circuit: &Circuit) -> String {
             GateKind::Mux => {
                 // Expand: y = (sel & b) | (~sel & a).
                 out.push_str(&format!("  wire {name}_nsel, {name}_t0, {name}_t1;\n"));
-                out.push_str(&format!("  not g{counter}a ({name}_nsel, {});\n", fanins[0]));
+                out.push_str(&format!(
+                    "  not g{counter}a ({name}_nsel, {});\n",
+                    fanins[0]
+                ));
                 out.push_str(&format!(
                     "  and g{counter}b ({name}_t0, {name}_nsel, {});\n",
                     fanins[1]
@@ -349,7 +361,10 @@ fn statements(text: &str) -> Vec<(usize, String)> {
 
 fn decl_names(rest: &str, line: usize) -> Result<Vec<String>, NetlistError> {
     if rest.contains('[') {
-        return Err(err(line, "vector declarations are not supported (flatten first)"));
+        return Err(err(
+            line,
+            "vector declarations are not supported (flatten first)",
+        ));
     }
     Ok(rest
         .split(',')
@@ -453,7 +468,8 @@ endmodule
 
     #[test]
     fn comments_stripped() {
-        let src = "module m (a, y); // ports\n input a; /* in */ output y;\n buf g (y, a);\nendmodule\n";
+        let src =
+            "module m (a, y); // ports\n input a; /* in */ output y;\n buf g (y, a);\nendmodule\n";
         let c = parse(src).unwrap();
         assert_eq!(c.inputs().len(), 1);
     }

@@ -5,9 +5,10 @@
 //!
 //! * the [`proptest!`] macro (with an optional
 //!   `#![proptest_config(...)]` inner attribute),
-//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
-//! * integer-range and tuple [`Strategy`](strategy::Strategy)s and
-//!   [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * integer-range and tuple [`Strategy`](strategy::Strategy)s,
+//!   [`collection::vec`] and [`sample::select`],
 //! * [`test_runner::ProptestConfig`].
 //!
 //! The workspace pins its registry to an offline mirror, so external
@@ -248,15 +249,45 @@ pub mod collection {
     }
 }
 
+/// Choose-from-a-list strategies (`prop::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing uniformly from a fixed list of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    /// A strategy generating one of `choices`, uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select needs at least one choice");
+        Select { choices }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.gen_below(self.choices.len() as u64) as usize].clone()
+        }
+    }
+}
+
 /// The glob-import surface mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 
     /// Mirrors proptest's `prelude::prop` module alias.
     pub mod prop {
-        pub use crate::collection;
+        pub use crate::{collection, sample};
     }
 }
 
@@ -294,6 +325,22 @@ macro_rules! prop_assert_eq {
             return ::core::result::Result::Err(::std::format!($($fmt)*));
         }
     }};
+}
+
+/// Skips the current case when `cond` does not hold.
+///
+/// Real proptest rejects the inputs and generates fresh ones (with a
+/// global rejection cap); the shim simply treats the case as vacuously
+/// passing, which keeps case indices deterministic. Properties guarded
+/// by a frequently-false assumption therefore run fewer effective
+/// cases — keep assumptions cheap and rarely violated.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
 }
 
 /// Fails the enclosing property case if the two values are equal.
@@ -378,6 +425,15 @@ mod tests {
                 prop_assert!(a < 7);
                 prop_assert_eq!(b.clamp(0, 2), b);
             }
+        }
+
+        /// `select` only ever yields the listed choices, and
+        /// `prop_assume` vacuously passes the filtered cases.
+        #[test]
+        fn select_and_assume(x in prop::sample::select(vec![-1i64, 1, 5])) {
+            prop_assert!([-1, 1, 5].contains(&x));
+            prop_assume!(x > 0);
+            prop_assert!(x == 1 || x == 5);
         }
     }
 

@@ -183,9 +183,9 @@ pub fn predicted_register_count(graph: &RetimeGraph, r: &Retiming) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netlist::{samples, DelayModel};
     use crate::minperiod::min_period;
     use crate::timing::clock_period;
+    use netlist::{samples, DelayModel};
 
     // `cycle` indexes the inner dimension of `inputs`, which iterating
     // over `inputs` directly cannot reach.

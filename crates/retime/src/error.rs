@@ -45,11 +45,17 @@ impl fmt::Display for RetimeError {
                 write!(f, "retiming creates a combinational cycle")
             }
             RetimeError::NegativeEdgeWeight { from, to, weight } => {
-                write!(f, "retimed edge `{from}` -> `{to}` has negative weight {weight}")
+                write!(
+                    f,
+                    "retimed edge `{from}` -> `{to}` has negative weight {weight}"
+                )
             }
             RetimeError::Infeasible(why) => write!(f, "no feasible retiming: {why}"),
             RetimeError::WrongLength { expected, got } => {
-                write!(f, "retiming has length {got}, graph has {expected} vertices")
+                write!(
+                    f,
+                    "retiming has length {got}, graph has {expected} vertices"
+                )
             }
         }
     }
@@ -69,7 +75,9 @@ mod tests {
             weight: -2,
         };
         assert!(e.to_string().contains("-2"));
-        assert!(RetimeError::ZeroWeightCycle.to_string().contains("combinational cycle"));
+        assert!(RetimeError::ZeroWeightCycle
+            .to_string()
+            .contains("combinational cycle"));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! this module solves exactly. All arc costs in that reduction are
 //! non-negative, so Dijkstra with potentials applies throughout.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 const INF: i64 = i64::MAX / 4;
 
@@ -69,7 +69,10 @@ impl MinCostFlow {
     ///
     /// Panics on negative capacity or out-of-range endpoints.
     pub fn add_arc(&mut self, from: usize, to: usize, capacity: i64, cost: i64) -> usize {
-        assert!(from < self.num_nodes && to < self.num_nodes, "arc endpoint out of range");
+        assert!(
+            from < self.num_nodes && to < self.num_nodes,
+            "arc endpoint out of range"
+        );
         assert!(capacity >= 0, "capacity must be non-negative");
         let idx = self.to.len() / 2;
         self.adj[from].push(self.to.len());
@@ -201,7 +204,9 @@ impl MinCostFlow {
             excess[sink] += push;
         }
 
-        let flows = (0..self.to.len() / 2).map(|k| self.cap[2 * k + 1]).collect();
+        let flows = (0..self.to.len() / 2)
+            .map(|k| self.cap[2 * k + 1])
+            .collect();
         Some(FlowResult {
             cost: total_cost,
             flows,

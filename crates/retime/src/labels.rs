@@ -100,6 +100,13 @@ pub struct P2Violation {
     pub short_path: i64,
 }
 
+/// Saved label entries of a vertex set, produced by
+/// [`LrLabels::snapshot`] and consumed by [`LrLabels::restore`].
+#[derive(Debug, Clone)]
+pub struct LabelSnapshot {
+    entries: Vec<(VertexId, i64, i64, VertexId, VertexId)>,
+}
+
 /// The computed `L`/`R` labels with witnesses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LrLabels {
@@ -135,58 +142,112 @@ impl LrLabels {
         order: &[VertexId],
     ) -> Self {
         let n = graph.num_vertices();
-        let mut l = vec![L_EMPTY; n];
-        let mut rr = vec![R_EMPTY; n];
-        let mut lt = vec![RetimeGraph::HOST; n];
-        let mut rt = vec![RetimeGraph::HOST; n];
+        let mut labels = Self {
+            params,
+            l: vec![L_EMPTY; n],
+            r: vec![R_EMPTY; n],
+            lt: vec![RetimeGraph::HOST; n],
+            rt: vec![RetimeGraph::HOST; n],
+        };
         for &u in order.iter().rev() {
-            let ui = u.index();
-            let mut best_l = L_EMPTY;
-            let mut best_r = R_EMPTY;
-            let mut wit_l = RetimeGraph::HOST;
-            let mut wit_r = RetimeGraph::HOST;
-            for &e in graph.out_edges(u) {
-                let edge = graph.edge(e);
-                let is_ro = edge.to.is_host() || graph.retimed_weight(e, r) > 0;
-                if is_ro {
-                    if params.window_left() < best_l {
-                        best_l = params.window_left();
-                        wit_l = u;
+            labels.recompute_vertex(graph, r, u);
+        }
+        labels
+    }
+
+    /// Recomputes the labels of one vertex from its fanouts' current
+    /// labels under `r`. Returns the number of out-edges relaxed.
+    ///
+    /// Correct only when every combinational fanout of `u` (under `r`)
+    /// already carries its final label — the caller is responsible for
+    /// the processing order (reverse topological over the zero-weight
+    /// subgraph, or a dirty region thereof).
+    fn recompute_vertex(&mut self, graph: &RetimeGraph, r: &Retiming, u: VertexId) -> u64 {
+        let params = self.params;
+        let mut best_l = L_EMPTY;
+        let mut best_r = R_EMPTY;
+        let mut wit_l = RetimeGraph::HOST;
+        let mut wit_r = RetimeGraph::HOST;
+        let out = graph.out_edges(u);
+        for &e in out {
+            let edge = graph.edge(e);
+            let is_ro = edge.to.is_host() || graph.retimed_weight(e, r) > 0;
+            if is_ro {
+                if params.window_left() < best_l {
+                    best_l = params.window_left();
+                    wit_l = u;
+                }
+                if params.window_right() > best_r {
+                    best_r = params.window_right();
+                    wit_r = u;
+                }
+            } else if is_combinational_edge(graph, e, r) {
+                let f = edge.to;
+                let fi = f.index();
+                if self.l[fi] != L_EMPTY {
+                    let cand = self.l[fi] - graph.delay(f);
+                    if cand < best_l {
+                        best_l = cand;
+                        wit_l = self.lt[fi];
                     }
-                    if params.window_right() > best_r {
-                        best_r = params.window_right();
-                        wit_r = u;
-                    }
-                } else if is_combinational_edge(graph, e, r) {
-                    let f = edge.to;
-                    let fi = f.index();
-                    if l[fi] != L_EMPTY {
-                        let cand = l[fi] - graph.delay(f);
-                        if cand < best_l {
-                            best_l = cand;
-                            wit_l = lt[fi];
-                        }
-                    }
-                    if rr[fi] != R_EMPTY {
-                        let cand = rr[fi] - graph.delay(f);
-                        if cand > best_r {
-                            best_r = cand;
-                            wit_r = rt[fi];
-                        }
+                }
+                if self.r[fi] != R_EMPTY {
+                    let cand = self.r[fi] - graph.delay(f);
+                    if cand > best_r {
+                        best_r = cand;
+                        wit_r = self.rt[fi];
                     }
                 }
             }
-            l[ui] = best_l;
-            rr[ui] = best_r;
-            lt[ui] = wit_l;
-            rt[ui] = wit_r;
         }
-        Self {
-            params,
-            l,
-            r: rr,
-            lt,
-            rt,
+        let ui = u.index();
+        self.l[ui] = best_l;
+        self.r[ui] = best_r;
+        self.lt[ui] = wit_l;
+        self.rt[ui] = wit_r;
+        out.len() as u64
+    }
+
+    /// Re-relaxes the labels of a dirty region in place under a new
+    /// retiming `r`. `ordered` must list every vertex whose label may
+    /// have changed, in a valid processing order (each vertex after all
+    /// of its in-region combinational fanouts under `r`) — exactly what
+    /// [`crate::timing::DirtyCone::compute`] produces. Labels outside
+    /// the region are trusted as-is.
+    ///
+    /// Returns the number of edges relaxed (the incremental engine's
+    /// headline perf counter).
+    pub fn relax_region(&mut self, graph: &RetimeGraph, r: &Retiming, ordered: &[VertexId]) -> u64 {
+        let mut edges = 0u64;
+        for &u in ordered {
+            edges += self.recompute_vertex(graph, r, u);
+        }
+        edges
+    }
+
+    /// Saves the label entries of a vertex set, for rollback after a
+    /// speculative [`LrLabels::relax_region`] whose retiming is then
+    /// rejected.
+    pub fn snapshot(&self, vertices: &[VertexId]) -> LabelSnapshot {
+        LabelSnapshot {
+            entries: vertices
+                .iter()
+                .map(|&v| {
+                    let i = v.index();
+                    (v, self.l[i], self.r[i], self.lt[i], self.rt[i])
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores label entries saved by [`LrLabels::snapshot`].
+    pub fn restore(&mut self, snapshot: &LabelSnapshot) {
+        for &(v, l, r, lt, rt) in &snapshot.entries {
+            let i = v.index();
+            self.l[i] = l;
+            self.r[i] = r;
+            self.lt[i] = lt;
+            self.rt[i] = rt;
         }
     }
 
@@ -234,68 +295,93 @@ impl LrLabels {
             .map(|r| graph.delay(v) + self.params.window_right() - r)
     }
 
-    /// Finds a **P1** violation: a vertex whose longest outgoing
-    /// combinational path exceeds `Φ − T_s`. Returns the most upstream
-    /// violating vertex ("path head"), which is the vertex the paper's
-    /// Algorithm 1 retimes to cut the path.
-    pub fn find_p1_violation(
+    /// Finds the canonical **P1** violation: the minimum-index vertex
+    /// with negative slack and no combinational in-edge (a "path
+    /// head" — the vertex the paper's Algorithm 1 retimes to cut the
+    /// path).
+    ///
+    /// Every combinational predecessor `u` of a violating vertex `v`
+    /// also violates (`slack(u) ≤ slack(v) − d(u) < 0`), so restricting
+    /// to heads loses no violations; selecting the minimum index makes
+    /// the answer independent of traversal order, which the incremental
+    /// checker relies on for bit-identity with this from-scratch scan.
+    pub fn find_p1_violation(&self, graph: &RetimeGraph, r: &Retiming) -> Option<P1Violation> {
+        graph
+            .vertices()
+            .find_map(|v| self.p1_violation_at(graph, r, v))
+    }
+
+    /// The canonical P1 check for a single vertex: `Some` iff `v` has
+    /// negative slack **and** is a path head under `r`. Shared by the
+    /// from-scratch scan and the incremental checker so both apply the
+    /// exact same rule.
+    pub fn p1_violation_at(
         &self,
         graph: &RetimeGraph,
         r: &Retiming,
-        order: &[VertexId],
+        v: VertexId,
     ) -> Option<P1Violation> {
-        // Every zero-weight predecessor of a violating vertex also
-        // violates, so the first violating vertex in topological order
-        // is a path head.
-        for &v in order {
-            if let Some(l) = self.l(v) {
-                let slack = l - graph.delay(v);
-                if slack < 0 {
-                    debug_assert!(self.head_check(graph, r, v));
-                    return Some(P1Violation {
-                        vertex: v,
-                        lt: self.lt(v),
-                        slack,
-                    });
-                }
-            }
+        let l = self.l(v)?;
+        let slack = l - graph.delay(v);
+        if slack < 0 && self.is_path_head(graph, r, v) {
+            Some(P1Violation {
+                vertex: v,
+                lt: self.lt(v),
+                slack,
+            })
+        } else {
+            None
         }
-        None
     }
 
-    fn head_check(&self, graph: &RetimeGraph, r: &Retiming, v: VertexId) -> bool {
-        graph.in_edges(v).iter().all(|&e| !is_combinational_edge(graph, e, r))
+    /// Whether `v` has no combinational in-edge under `r` (the "path
+    /// head" filter of the canonical P1 rule).
+    pub fn is_path_head(&self, graph: &RetimeGraph, r: &Retiming, v: VertexId) -> bool {
+        graph
+            .in_edges(v)
+            .iter()
+            .all(|&e| !is_combinational_edge(graph, e, r))
     }
 
-    /// Finds a **P2** violation: a registered edge `(t, u)` whose
-    /// register launches a combinational path shorter than `r_min`.
+    /// Finds the canonical **P2** violation: the minimum-id registered
+    /// edge `(t, u)` whose register launches a combinational path
+    /// shorter than `r_min`.
     pub fn find_p2_violation(
         &self,
         graph: &RetimeGraph,
         r: &Retiming,
         r_min: i64,
     ) -> Option<P2Violation> {
-        for (i, edge) in graph.edges().iter().enumerate() {
-            let e = EdgeId::new(i);
-            if edge.to.is_host() {
-                continue;
-            }
-            if graph.retimed_weight(e, r) <= 0 {
-                continue;
-            }
-            let u = edge.to;
-            if let Some(sp) = self.short_path(graph, u) {
-                if sp < r_min {
-                    return Some(P2Violation {
-                        edge: e,
-                        vertex: u,
-                        rt: self.rt(u),
-                        short_path: sp,
-                    });
-                }
-            }
+        (0..graph.num_edges()).find_map(|i| self.p2_violation_at(graph, r, r_min, EdgeId::new(i)))
+    }
+
+    /// The canonical P2 check for a single edge: `Some` iff `e` is a
+    /// registered non-host edge under `r` whose head's short path is
+    /// below `r_min`. Shared by the from-scratch scan and the
+    /// incremental checker so both apply the exact same rule.
+    pub fn p2_violation_at(
+        &self,
+        graph: &RetimeGraph,
+        r: &Retiming,
+        r_min: i64,
+        e: EdgeId,
+    ) -> Option<P2Violation> {
+        let edge = graph.edge(e);
+        if edge.to.is_host() || graph.retimed_weight(e, r) <= 0 {
+            return None;
         }
-        None
+        let u = edge.to;
+        let sp = self.short_path(graph, u)?;
+        if sp < r_min {
+            Some(P2Violation {
+                edge: e,
+                vertex: u,
+                rt: self.rt(u),
+                short_path: sp,
+            })
+        } else {
+            None
+        }
     }
 
     /// The minimum `short_path` over all registered edges — the value
@@ -364,20 +450,65 @@ mod tests {
     fn p1_violation_when_phi_too_small() {
         // Segments have 3 unit-delay gates; phi = 2 breaks setup.
         let (_, g, r, labels) = setup(2);
-        let order = zero_weight_topo(&g, &r).unwrap();
-        let viol = labels.find_p1_violation(&g, &r, &order).expect("violation");
+        let viol = labels.find_p1_violation(&g, &r).expect("violation");
         assert!(viol.slack < 0);
         // The head has no zero-weight combinational in-edge.
         for &e in g.in_edges(viol.vertex) {
             assert!(!is_combinational_edge(&g, e, &r));
+        }
+        // Canonical rule: no lower-index head also violates.
+        for v in g.vertices() {
+            if v >= viol.vertex {
+                break;
+            }
+            assert!(labels.p1_violation_at(&g, &r, v).is_none());
         }
     }
 
     #[test]
     fn no_p1_violation_when_phi_ample() {
         let (_, g, r, labels) = setup(10);
-        let order = zero_weight_topo(&g, &r).unwrap();
-        assert!(labels.find_p1_violation(&g, &r, &order).is_none());
+        assert!(labels.find_p1_violation(&g, &r).is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let (c, g, _, mut labels) = setup(10);
+        let all: Vec<_> = g.vertices().collect();
+        let before = labels.clone();
+        let snap = labels.snapshot(&all);
+        // Re-relax everything under a shifted retiming (register moved
+        // backward over s2): the labels change, restore brings back the
+        // exact prior state.
+        let mut r2 = Retiming::zero(&g);
+        r2.set(g.vertex_of(c.find("s2").unwrap()).unwrap(), 1);
+        g.check_nonnegative(&r2).unwrap();
+        let rev: Vec<_> = zero_weight_topo(&g, &r2)
+            .unwrap()
+            .into_iter()
+            .rev()
+            .collect();
+        labels.relax_region(&g, &r2, &rev);
+        assert_ne!(labels, before, "shifted retiming must move labels");
+        labels.restore(&snap);
+        assert_eq!(labels, before);
+    }
+
+    #[test]
+    fn relax_region_matches_full_recompute() {
+        let (c, g, _, mut labels) = setup(10);
+        let mut r2 = Retiming::zero(&g);
+        r2.set(g.vertex_of(c.find("s2").unwrap()).unwrap(), 1);
+        g.check_nonnegative(&r2).unwrap();
+        let rev: Vec<_> = zero_weight_topo(&g, &r2)
+            .unwrap()
+            .into_iter()
+            .rev()
+            .collect();
+        let edges = labels.relax_region(&g, &r2, &rev);
+        assert!(edges > 0);
+        let fresh = LrLabels::compute(&g, &r2, labels.params()).unwrap();
+        assert_eq!(labels, fresh);
     }
 
     #[test]

@@ -79,8 +79,7 @@ impl WdMatrices {
                     let vi = edge.to.index();
                     let cand_w = row_w[ui] + edge.weight as i64;
                     let cand_d = row_d[ui] + graph.delay(edge.to);
-                    let better = cand_w < row_w[vi]
-                        || (cand_w == row_w[vi] && cand_d > row_d[vi]);
+                    let better = cand_w < row_w[vi] || (cand_w == row_w[vi] && cand_d > row_d[vi]);
                     if better {
                         row_w[vi] = cand_w;
                         row_d[vi] = cand_d;
@@ -105,8 +104,7 @@ impl WdMatrices {
     /// `D(u,v)`: maximum total vertex delay (inclusive of both
     /// endpoints) among register-minimal `u → v` paths.
     pub fn d(&self, u: VertexId, v: VertexId) -> Option<i64> {
-        self.w(u, v)
-            .map(|_| self.d[u.index() * self.n + v.index()])
+        self.w(u, v).map(|_| self.d[u.index() * self.n + v.index()])
     }
 }
 
@@ -296,7 +294,10 @@ pub fn solve_exact(
         objective, -flow.cost,
         "strong duality: primal optimum must equal −(dual flow cost)"
     );
-    Ok(ExactSolution { retiming, objective })
+    Ok(ExactSolution {
+        retiming,
+        objective,
+    })
 }
 
 /// Exhaustive minimization over all retimings in a box, for tiny
@@ -463,8 +464,7 @@ mod tests {
             &g,
             2,
             |r| {
-                g.check_nonnegative(r).is_ok()
-                    && matches!(clock_period(&g, r), Ok(cp) if cp <= phi)
+                g.check_nonnegative(r).is_ok() && matches!(clock_period(&g, r), Ok(cp) if cp <= phi)
             },
             |r| g.retimed_registers(r),
         )
@@ -486,7 +486,11 @@ mod tests {
             &g,
             3,
             |r| g.check_nonnegative(r).is_ok(),
-            |r| (1..g.num_vertices()).map(|v| b[v] * r.get(VertexId::new(v))).sum(),
+            |r| {
+                (1..g.num_vertices())
+                    .map(|v| b[v] * r.get(VertexId::new(v)))
+                    .sum()
+            },
         )
         .unwrap();
         assert_eq!(sol.objective, brute.1);
@@ -509,7 +513,13 @@ mod tests {
             }
             let mut rng = netlist::rng::Xoshiro256::seed_from_u64(seed * 77 + 1);
             let b: Vec<i64> = (0..g.num_vertices())
-                .map(|i| if i == 0 { 0 } else { rng.gen_range(7) as i64 - 3 })
+                .map(|i| {
+                    if i == 0 {
+                        0
+                    } else {
+                        rng.gen_range(7) as i64 - 3
+                    }
+                })
                 .collect();
             let sol = match solve_exact(&g, &b, None) {
                 Ok(s) => s,
@@ -523,7 +533,11 @@ mod tests {
                 &g,
                 2,
                 |r| g.check_nonnegative(r).is_ok(),
-                |r| (1..g.num_vertices()).map(|v| b[v] * r.get(VertexId::new(v))).sum(),
+                |r| {
+                    (1..g.num_vertices())
+                        .map(|v| b[v] * r.get(VertexId::new(v)))
+                        .sum()
+                },
             )
             .unwrap();
             assert_eq!(sol.objective, brute.1, "seed {seed}");

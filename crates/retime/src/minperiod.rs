@@ -6,7 +6,7 @@
 
 use crate::error::RetimeError;
 use crate::graph::{RetimeGraph, Retiming, VertexId};
-use crate::timing::{clock_period, is_combinational_edge, ArrivalTimes, zero_weight_topo};
+use crate::timing::{clock_period, is_combinational_edge, zero_weight_topo, ArrivalTimes};
 
 /// Runs the FEAS relaxation: starting from `r = 0`, repeatedly
 /// increments `r(v)` for every vertex whose arrival time exceeds `phi`.
@@ -56,11 +56,7 @@ pub struct MinPeriodResult {
 /// of all gate delays) is infeasible — impossible for graphs built from
 /// valid circuits, kept for robustness.
 pub fn min_period(graph: &RetimeGraph) -> Result<MinPeriodResult, RetimeError> {
-    let max_delay: i64 = graph
-        .vertices()
-        .map(|v| graph.delay(v))
-        .max()
-        .unwrap_or(0);
+    let max_delay: i64 = graph.vertices().map(|v| graph.delay(v)).max().unwrap_or(0);
     let total_delay: i64 = graph.vertices().map(|v| graph.delay(v)).sum();
     let hi_bound = total_delay.max(max_delay).max(1);
 
@@ -68,7 +64,10 @@ pub fn min_period(graph: &RetimeGraph) -> Result<MinPeriodResult, RetimeError> {
     let current = clock_period(graph, &Retiming::zero(graph))?;
     let mut hi = current.min(hi_bound);
     let mut best = feasible_retiming(graph, hi)
-        .map(|r| MinPeriodResult { phi: hi, retiming: r })
+        .map(|r| MinPeriodResult {
+            phi: hi,
+            retiming: r,
+        })
         .unwrap_or(MinPeriodResult {
             phi: current,
             retiming: Retiming::zero(graph),
@@ -78,7 +77,10 @@ pub fn min_period(graph: &RetimeGraph) -> Result<MinPeriodResult, RetimeError> {
         let mid = lo + (hi - lo) / 2;
         match feasible_retiming(graph, mid) {
             Some(r) => {
-                best = MinPeriodResult { phi: mid, retiming: r };
+                best = MinPeriodResult {
+                    phi: mid,
+                    retiming: r,
+                };
                 hi = mid;
             }
             None => lo = mid + 1,
@@ -107,14 +109,18 @@ pub fn period_lower_bound(graph: &RetimeGraph) -> i64 {
 /// `|V| · max_edge_weight` is a safe bound used by the exhaustive test
 /// solvers.
 pub fn retiming_radius(graph: &RetimeGraph) -> i64 {
-    let max_w = graph.edges().iter().map(|e| e.weight as i64).max().unwrap_or(0);
+    let max_w = graph
+        .edges()
+        .iter()
+        .map(|e| e.weight as i64)
+        .max()
+        .unwrap_or(0);
     (graph.num_vertices() as i64) * max_w.max(1)
 }
 
 /// Returns whether `r` is feasible for period `phi` (P0 + setup).
 pub fn is_feasible(graph: &RetimeGraph, r: &Retiming, phi: i64) -> bool {
-    graph.check_nonnegative(r).is_ok()
-        && matches!(clock_period(graph, r), Ok(cp) if cp <= phi)
+    graph.check_nonnegative(r).is_ok() && matches!(clock_period(graph, r), Ok(cp) if cp <= phi)
 }
 
 /// Diagnostic: the set of critical vertices (arrival = clock period).

@@ -41,7 +41,11 @@ pub fn feasible_setup_hold(
     t_hold: i64,
 ) -> Option<Retiming> {
     let mut r = Retiming::zero(graph);
-    let params = ElwParams { phi, t_setup, t_hold };
+    let params = ElwParams {
+        phi,
+        t_setup,
+        t_hold,
+    };
     let budget = 4 * graph.num_vertices() + 16;
     for _ in 0..budget {
         let order = zero_weight_topo(graph, &r).ok()?;
@@ -119,11 +123,7 @@ fn find_hold_violation(
 /// registered out-edge of `z` carries more than one register (the
 /// multi-register case is handled by the full MinObsWin machinery, not
 /// this initialization helper).
-fn push_terminating_register_forward(
-    graph: &RetimeGraph,
-    r: &mut Retiming,
-    z: VertexId,
-) -> bool {
+fn push_terminating_register_forward(graph: &RetimeGraph, r: &mut Retiming, z: VertexId) -> bool {
     let Some(y) = graph.out_edges(z).iter().find_map(|&e| {
         let edge = graph.edge(e);
         (!edge.to.is_host() && graph.retimed_weight(e, r) == 1).then_some(edge.to)
@@ -210,7 +210,11 @@ pub fn meets_setup_hold(
     if arrivals.clock_period() > phi - t_setup {
         return false;
     }
-    let params = ElwParams { phi, t_setup, t_hold };
+    let params = ElwParams {
+        phi,
+        t_setup,
+        t_hold,
+    };
     let labels = LrLabels::compute_with_order(graph, r, params, &order);
     find_hold_violation(graph, r, &labels, t_hold).is_none()
 }
@@ -230,13 +234,18 @@ pub fn min_period_setup_hold(
     let mut lo = (max_delay + t_setup).max(t_hold);
     let mut hi = hi_bound;
     // Establish an upper-bound solution first.
-    let mut best = feasible_setup_hold(graph, hi, t_setup, t_hold)
-        .map(|r| SetupHoldResult { phi: hi, retiming: r })?;
+    let mut best = feasible_setup_hold(graph, hi, t_setup, t_hold).map(|r| SetupHoldResult {
+        phi: hi,
+        retiming: r,
+    })?;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         match feasible_setup_hold(graph, mid, t_setup, t_hold) {
             Some(r) => {
-                best = SetupHoldResult { phi: mid, retiming: r };
+                best = SetupHoldResult {
+                    phi: mid,
+                    retiming: r,
+                };
                 hi = mid;
             }
             None => lo = mid + 1,

@@ -278,7 +278,10 @@ mod tests {
         b.gate("y", GateKind::Not, &["q2"]).unwrap();
         b.output("y").unwrap();
         let c = b.build().unwrap();
-        assert_eq!(register_driver(&c, c.find("q2").unwrap()), c.find("x").unwrap());
+        assert_eq!(
+            register_driver(&c, c.find("q2").unwrap()),
+            c.find("x").unwrap()
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //!
 //! and may consist of multiple disjoint intervals.
 
-use retime::{ElwParams, EdgeId, RetimeGraph, Retiming, VertexId};
 use retime::timing::{is_combinational_edge, zero_weight_topo};
+use retime::{EdgeId, ElwParams, RetimeGraph, Retiming, VertexId};
 use std::fmt;
 
 /// A set of disjoint, sorted, half-open-free (closed) intervals on the
@@ -109,7 +109,11 @@ impl IntervalSet {
     /// The set shifted by `delta` (`ELW(f) − d(f)` uses `delta = −d`).
     pub fn shifted(&self, delta: i64) -> Self {
         Self {
-            intervals: self.intervals.iter().map(|&(l, r)| (l + delta, r + delta)).collect(),
+            intervals: self
+                .intervals
+                .iter()
+                .map(|&(l, r)| (l + delta, r + delta))
+                .collect(),
         }
     }
 
@@ -307,11 +311,20 @@ mod tests {
 
     #[test]
     fn theorem1_holds_on_samples() {
-        for c in [samples::s27_like(), samples::pipeline(9, 3), samples::fig1_like()] {
+        for c in [
+            samples::s27_like(),
+            samples::pipeline(9, 3),
+            samples::fig1_like(),
+        ] {
             let g = RetimeGraph::from_circuit(&c, &DelayModel::default()).unwrap();
             let r = Retiming::zero(&g);
             let params = ElwParams::with_phi(200);
-            assert_eq!(check_theorem1(&g, &r, params).unwrap(), None, "{}", c.name());
+            assert_eq!(
+                check_theorem1(&g, &r, params).unwrap(),
+                None,
+                "{}",
+                c.name()
+            );
         }
     }
 

@@ -55,10 +55,7 @@ impl Observability {
             }
             // Backward pass over the combinational order.
             for &g in circuit.topo_order().iter().rev() {
-                let mut acc = std::mem::replace(
-                    &mut frame_odc[g.index()],
-                    Signature::zeros(bits),
-                );
+                let mut acc = std::mem::replace(&mut frame_odc[g.index()], Signature::zeros(bits));
                 for &h in circuit.fanouts(g) {
                     match circuit.gate(h).kind() {
                         GateKind::Dff => {
@@ -204,11 +201,8 @@ pub fn exact_fault_injection(circuit: &Circuit, config: SimConfig) -> Vec<f64> {
                 if gate.kind() == GateKind::Input {
                     continue;
                 }
-                let fanins: Vec<&Signature> = gate
-                    .fanins()
-                    .iter()
-                    .map(|&x| &faulty[x.index()])
-                    .collect();
+                let fanins: Vec<&Signature> =
+                    gate.fanins().iter().map(|&x| &faulty[x.index()]).collect();
                 let mut value = eval_gate(gate.kind(), &fanins, bits);
                 if f == 0 && g == victim {
                     value = value.not();
@@ -349,7 +343,13 @@ mod tests {
         let c = samples::s27_like();
         let o = Observability::compute(
             &c,
-            &FrameTrace::simulate(&c, SimConfig { frames: 1, ..SimConfig::small() }),
+            &FrameTrace::simulate(
+                &c,
+                SimConfig {
+                    frames: 1,
+                    ..SimConfig::small()
+                },
+            ),
         );
         for &q in c.registers() {
             let d = c.gate(q).fanins()[0];

@@ -31,7 +31,10 @@ impl Signature {
     /// Panics if `bits` is not a positive multiple of 64 (keeping every
     /// word fully populated removes all masking corner cases).
     pub fn zeros(bits: usize) -> Self {
-        assert!(bits > 0 && bits.is_multiple_of(64), "bits must be a positive multiple of 64");
+        assert!(
+            bits > 0 && bits.is_multiple_of(64),
+            "bits must be a positive multiple of 64"
+        );
         Self {
             words: vec![0; bits / 64],
             bits,
@@ -44,7 +47,10 @@ impl Signature {
     ///
     /// Same as [`Signature::zeros`].
     pub fn ones(bits: usize) -> Self {
-        assert!(bits > 0 && bits.is_multiple_of(64), "bits must be a positive multiple of 64");
+        assert!(
+            bits > 0 && bits.is_multiple_of(64),
+            "bits must be a positive multiple of 64"
+        );
         Self {
             words: vec![u64::MAX; bits / 64],
             bits,
@@ -57,7 +63,10 @@ impl Signature {
     ///
     /// Same as [`Signature::zeros`].
     pub fn random(bits: usize, rng: &mut Xoshiro256) -> Self {
-        assert!(bits > 0 && bits.is_multiple_of(64), "bits must be a positive multiple of 64");
+        assert!(
+            bits > 0 && bits.is_multiple_of(64),
+            "bits must be a positive multiple of 64"
+        );
         Self {
             words: (0..bits / 64).map(|_| rng.next_u64()).collect(),
             bits,

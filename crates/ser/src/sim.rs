@@ -218,7 +218,10 @@ mod tests {
         let t = FrameTrace::simulate(&c, SimConfig::small());
         let one = c.find("one").unwrap();
         for f in 0..t.frames() {
-            assert_eq!(t.value(f, one).count_ones() as usize, t.config().num_vectors);
+            assert_eq!(
+                t.value(f, one).count_ones() as usize,
+                t.config().num_vectors
+            );
         }
         // x equals a.
         let a = c.find("a").unwrap();

@@ -26,8 +26,7 @@ fn fig2a_p0() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = samples::pipeline(6, 3);
     let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::unit())?;
     let counts = vec![1i64; graph.num_vertices()];
-    let problem =
-        Problem::from_observability_counts(&graph, &counts, ElwParams::with_phi(20), 1);
+    let problem = Problem::from_observability_counts(&graph, &counts, ElwParams::with_phi(20), 1);
 
     // Tentatively decrease only s1 (its in-edge from s0 has no
     // register).

@@ -7,9 +7,8 @@
 //! cargo run -p minobswin-bench --release --example design_space
 //! ```
 
-use minobswin::algorithm::{solve, SolverConfig};
-use minobswin::init::{initialize, InitConfig};
-use minobswin::Problem;
+use minobswin::init::InitConfig;
+use minobswin::{Problem, SolverSession};
 use netlist::generator::GeneratorConfig;
 use netlist::DelayModel;
 use retime::apply::apply_retiming;
@@ -44,17 +43,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ε%", "Phi", "R_min", "SER orig", "SER new", "ΔSER", "#J"
     );
     for epsilon in [0u32, 5, 10, 20, 40] {
-        let init = initialize(
-            &graph,
-            InitConfig {
-                epsilon_percent: epsilon,
-                ..InitConfig::default()
-            },
-        )?;
+        let init = InitConfig::default()
+            .with_epsilon_percent(epsilon)
+            .initialize(&graph)?;
         let params = ElwParams::with_phi(init.phi);
         let problem =
             Problem::from_observabilities(&graph, &vertex_obs, sim.num_vectors, params, init.r_min);
-        let sol = solve(&graph, &problem, init.retiming.clone(), SolverConfig::default())?;
+        let sol = SolverSession::new(&graph, &problem)
+            .initial(init.retiming.clone())
+            .run()?;
         let ser_config = SerConfig {
             sim,
             delays: delays.clone(),
@@ -77,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nsweep over R_min at fixed ε = 10% (tighter = stronger ELW protection):\n");
-    let init = initialize(&graph, InitConfig::default())?;
+    let init = InitConfig::default().initialize(&graph)?;
     let params = ElwParams::with_phi(init.phi);
     let ser_config = SerConfig {
         sim,
@@ -95,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Problem::from_observabilities(&graph, &vertex_obs, sim.num_vectors, params, r_min);
         // Raising R_min beyond the initial minimum short path can make
         // the §V starting point infeasible; skip those points.
-        let sol = match solve(&graph, &problem, init.retiming.clone(), SolverConfig::default()) {
+        let sol = match SolverSession::new(&graph, &problem)
+            .initial(init.retiming.clone())
+            .run()
+        {
             Ok(s) => s,
             Err(e) => {
                 println!("{:>7} | (infeasible start: {e})", r_min);

@@ -10,9 +10,8 @@
 //! cargo run -p minobswin-bench --example elw_tradeoff
 //! ```
 
-use minobswin::algorithm::{solve, SolverConfig};
-use minobswin::minobs::min_obs;
-use minobswin::Problem;
+use minobswin::algorithm::SolverConfig;
+use minobswin::{Problem, SolverSession};
 use netlist::{samples, DelayModel};
 use retime::apply::apply_retiming;
 use retime::{ElwParams, LrLabels, RetimeGraph, Retiming};
@@ -37,8 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.set(f, -1);
         r
     };
-    let phi = retime::timing::clock_period(&graph, &moved_r)?
-        .max(retime::timing::clock_period(&graph, &Retiming::zero(&graph))?);
+    let phi = retime::timing::clock_period(&graph, &moved_r)?.max(retime::timing::clock_period(
+        &graph,
+        &Retiming::zero(&graph),
+    )?);
     let params = ElwParams::with_phi(phi);
     let sim = SimConfig::default();
     let config = SerConfig {
@@ -61,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let moved = apply_retiming(&circuit, &graph, &r)?;
     let after = analyze(&moved, &config)?;
 
-    println!("Figure 1 trade-off on `{}` (Phi = {phi}):\n", circuit.name());
+    println!(
+        "Figure 1 trade-off on `{}` (Phi = {phi}):\n",
+        circuit.name()
+    );
     println!("                          before      after r(F) = -1");
     println!(
         "registers                 {:>6}      {:>6}",
@@ -100,8 +104,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ser_up = after.ser > before.ser;
     println!(
         "\nregister observability {}, overall SER {}{}",
-        if obs_down { "DECREASED" } else { "did not decrease" },
-        if ser_up { "INCREASED" } else { "did not increase" },
+        if obs_down {
+            "DECREASED"
+        } else {
+            "did not decrease"
+        },
+        if ser_up {
+            "INCREASED"
+        } else {
+            "did not increase"
+        },
         if obs_down && ser_up {
             " — exactly the Fig. 1 trap."
         } else {
@@ -116,10 +128,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r0 = Retiming::zero(&graph);
     let labels = LrLabels::compute(&graph, &r0, params)?;
     let r_min = labels.min_short_path(&graph, &r0).unwrap_or(1);
-    let problem = Problem::from_observabilities(&graph, &vertex_obs, sim.num_vectors, params, r_min);
+    let problem =
+        Problem::from_observabilities(&graph, &vertex_obs, sim.num_vectors, params, r_min);
 
-    let ref_sol = min_obs(&graph, &problem, r0.clone())?;
-    let win_sol = solve(&graph, &problem, r0, SolverConfig::default())?;
+    let ref_sol = SolverSession::new(&graph, &problem)
+        .config(SolverConfig::default().with_p2(false))
+        .initial(r0.clone())
+        .run()?;
+    let win_sol = SolverSession::new(&graph, &problem).initial(r0).run()?;
     let ser_of = |retiming: &Retiming| -> Result<f64, Box<dyn std::error::Error>> {
         let rebuilt = apply_retiming(&circuit, &graph, retiming)?;
         Ok(analyze(&rebuilt, &config)?.ser)

@@ -5,7 +5,7 @@
 //! cargo run -p minobswin-bench --example quickstart [path/to/circuit.bench]
 //! ```
 
-use minobswin::experiment::{run_circuit, RunConfig};
+use minobswin::experiment::{Experiment, RunConfig};
 use netlist::generator::GeneratorConfig;
 use netlist::{bench_format, Circuit};
 
@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("circuit: {circuit}");
 
-    let run = run_circuit(&circuit, &RunConfig::default())?;
+    let run = Experiment::new(&circuit)
+        .config(RunConfig::default())
+        .run()?;
     println!(
         "\nperiod constraint Phi = {} ({}), R_min = {}",
         run.phi,
@@ -55,9 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "solver time: MinObs {:.3}s, MinObsWin {:.3}s, #J = {}",
-        run.minobs.solve_seconds,
-        run.minobswin.solve_seconds,
-        run.minobswin.stats.commits
+        run.minobs.solve_seconds, run.minobswin.solve_seconds, run.minobswin.stats.commits
     );
     Ok(())
 }

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact = exact_fault_injection(&circuit, sim);
 
     println!("observabilities (15-frame expansion, K = 2048):");
-    println!("{:<8} {:>10} {:>10} {:>9}", "gate", "ODC obs", "exact obs", "activity");
+    println!(
+        "{:<8} {:>10} {:>10} {:>9}",
+        "gate", "ODC obs", "exact obs", "activity"
+    );
     for (id, gate) in circuit.iter() {
         if gate.kind() == netlist::GateKind::Output {
             continue;
@@ -50,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let report = analyze(&circuit, &config)?;
 
-    println!("\nerror-latching windows at Phi = {phi} (window [{}, {}]):", phi, phi + 2);
+    println!(
+        "\nerror-latching windows at Phi = {phi} (window [{}, {}]):",
+        phi,
+        phi + 2
+    );
     let elws = ser_engine::elw::compute_elws(&graph, &Retiming::zero(&graph), config.elw)?;
     for v in graph.vertices() {
         let set = &elws[v.index()];
@@ -69,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  combinational share: {:.4e}", report.ser_combinational);
     println!("  register share:      {:.4e}", report.ser_registers);
     println!("  total SER:           {:.4e}", report.ser);
-    println!("  logic-masking only (no ELW factor): {:.4e}", report.ser_logic_only);
+    println!(
+        "  logic-masking only (no ELW factor): {:.4e}",
+        report.ser_logic_only
+    );
     println!(
         "  timing masking removes {:.1}% of the logic-only estimate",
         (1.0 - report.ser / report.ser_logic_only) * 100.0

@@ -3,10 +3,9 @@
 //! exhaustive enumeration on tiny instances (including the
 //! P2-constrained problem, where no convex reference exists).
 
-use minobswin::algorithm::{solve, SolverConfig};
-use minobswin::minobs::min_obs;
+use minobswin::algorithm::SolverConfig;
 use minobswin::verify::check_feasible;
-use minobswin::Problem;
+use minobswin::{Problem, SolverSession};
 use netlist::generator::GeneratorConfig;
 use netlist::rng::Xoshiro256;
 use netlist::{samples, DelayModel};
@@ -34,11 +33,20 @@ fn minobs_matches_exact_reference_on_many_circuits() {
         let phi = clock_period(&graph, &Retiming::zero(&graph)).unwrap();
         let mut rng = Xoshiro256::seed_from_u64(seed * 31 + 5);
         let counts: Vec<i64> = (0..graph.num_vertices())
-            .map(|i| if i == 0 { 128 } else { rng.gen_range(129) as i64 })
+            .map(|i| {
+                if i == 0 {
+                    128
+                } else {
+                    rng.gen_range(129) as i64
+                }
+            })
             .collect();
         let problem =
             Problem::from_observability_counts(&graph, &counts, ElwParams::with_phi(phi), 1);
-        let sol = min_obs(&graph, &problem, Retiming::zero(&graph)).unwrap();
+        let sol = SolverSession::new(&graph, &problem)
+            .config(SolverConfig::default().with_p2(false))
+            .run()
+            .unwrap();
         let exact = solve_exact(&graph, &problem.b, Some(phi)).unwrap();
         assert_eq!(
             objective(&graph, &problem.b, &sol.retiming),
@@ -80,8 +88,14 @@ fn minobswin_matches_exhaustive_on_tiny_circuits() {
             .map(|i| if i == 0 { 16 } else { rng.gen_range(17) as i64 })
             .collect();
         let problem = Problem::from_observability_counts(&graph, &counts, params, r_min);
-        let sol = solve(&graph, &problem, r0.clone(), SolverConfig::default()).unwrap();
-        assert!(check_feasible(&graph, &problem, &sol.retiming).is_ok(), "seed {seed}");
+        let sol = SolverSession::new(&graph, &problem)
+            .initial(r0.clone())
+            .run()
+            .unwrap();
+        assert!(
+            check_feasible(&graph, &problem, &sol.retiming).is_ok(),
+            "seed {seed}"
+        );
 
         let brute = exhaustive_minimize(
             &graph,
@@ -129,8 +143,11 @@ fn p2_never_binds_when_rmin_is_trivial() {
         let counts = vec![1i64; graph.num_vertices()];
         let problem =
             Problem::from_observability_counts(&graph, &counts, ElwParams::with_phi(phi), 1);
-        let win = solve(&graph, &problem, Retiming::zero(&graph), SolverConfig::default()).unwrap();
-        let base = min_obs(&graph, &problem, Retiming::zero(&graph)).unwrap();
+        let win = SolverSession::new(&graph, &problem).run().unwrap();
+        let base = SolverSession::new(&graph, &problem)
+            .config(SolverConfig::default().with_p2(false))
+            .run()
+            .unwrap();
         assert_eq!(
             win.objective_gain, base.objective_gain,
             "seed {seed}: with unit delays R_min = 1 never binds"
@@ -150,19 +167,27 @@ fn descent_is_monotone_and_final_state_stable() {
     let counts = vec![7i64; graph.num_vertices()];
     let problem = Problem::from_observability_counts(&graph, &counts, params, r_min);
     // The paper-literal schedule (descent only).
-    let paper_config = SolverConfig {
-        bidirectional: false,
-        ..SolverConfig::default()
-    };
-    let sol = solve(&graph, &problem, r0.clone(), paper_config).unwrap();
+    let paper_config = SolverConfig::default().with_bidirectional(false);
+    let sol = SolverSession::new(&graph, &problem)
+        .config(paper_config)
+        .initial(r0.clone())
+        .run()
+        .unwrap();
     // Descent: r only decreases from the start.
     for v in graph.vertices() {
         assert!(sol.retiming.get(v) <= r0.get(v), "{v} increased");
     }
     // Re-running from the final point makes no further progress, and
     // the bidirectional schedule can only match or improve.
-    let again = solve(&graph, &problem, sol.retiming.clone(), paper_config).unwrap();
+    let again = SolverSession::new(&graph, &problem)
+        .config(paper_config)
+        .initial(sol.retiming.clone())
+        .run()
+        .unwrap();
     assert_eq!(again.objective_gain, 0);
-    let bidir = solve(&graph, &problem, r0, SolverConfig::default()).unwrap();
+    let bidir = SolverSession::new(&graph, &problem)
+        .initial(r0)
+        .run()
+        .unwrap();
     assert!(bidir.objective_gain >= sol.objective_gain);
 }

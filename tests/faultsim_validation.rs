@@ -40,8 +40,12 @@ fn campaign_agrees_with_analytic_ser_on_samples() {
     for (circuit, phi) in sample_set() {
         let ser = SerConfig::small(phi);
         let report = analyze(&circuit, &ser).unwrap();
-        let campaign =
-            run_campaign(&circuit, &ser, &CampaignConfig::new(100_000).with_seed(2026)).unwrap();
+        let campaign = run_campaign(
+            &circuit,
+            &ser,
+            &CampaignConfig::new(100_000).with_seed(2026),
+        )
+        .unwrap();
         let check = CrossCheck::compare(&circuit, &report, &campaign, DEFAULT_TOLERANCE);
         assert!(
             check.ser_agrees,
@@ -153,8 +157,7 @@ fn worker_counts_are_statistically_compatible() {
 fn register_latch_counts_track_analytic_register_share() {
     let circuit = samples::s27_like();
     let ser = SerConfig::small(30);
-    let campaign =
-        run_campaign(&circuit, &ser, &CampaignConfig::new(50_000).with_seed(3)).unwrap();
+    let campaign = run_campaign(&circuit, &ser, &CampaignConfig::new(50_000).with_seed(3)).unwrap();
     assert_eq!(campaign.register_latches.len(), circuit.registers().len());
     // Every latch is attributed to at least one observation point
     // (a register input or a primary output).

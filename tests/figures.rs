@@ -6,11 +6,10 @@
 //! * **Fig. 3**: a positive-tree↔positive-tree link forcing a weight
 //!   update via `BreakTree` in the weighted regular forest.
 
-use minobswin::algorithm::{solve, SolverConfig};
+use minobswin::algorithm::SolverConfig;
 use minobswin::forest::WeightedRegularForest;
-use minobswin::minobs::min_obs;
 use minobswin::verify::{find_violation, Violation};
-use minobswin::Problem;
+use minobswin::{Problem, SolverSession};
 use netlist::{samples, CircuitBuilder, DelayModel, GateKind};
 use retime::apply::apply_retiming;
 use retime::{ElwParams, LrLabels, RetimeGraph, Retiming, VertexId};
@@ -76,9 +75,9 @@ fn fig1_minobswin_refuses_the_trap() {
     let f = graph.vertex_of(circuit.find("F").unwrap()).unwrap();
     let mut moved = Retiming::zero(&graph);
     moved.set(f, -1);
-    let phi = retime::timing::clock_period(&graph, &moved).unwrap().max(
-        retime::timing::clock_period(&graph, &Retiming::zero(&graph)).unwrap(),
-    );
+    let phi = retime::timing::clock_period(&graph, &moved)
+        .unwrap()
+        .max(retime::timing::clock_period(&graph, &Retiming::zero(&graph)).unwrap());
     let params = ElwParams::with_phi(phi);
     let sim = SimConfig::small();
     let trace = FrameTrace::simulate(&circuit, sim);
@@ -91,8 +90,15 @@ fn fig1_minobswin_refuses_the_trap() {
     let problem =
         Problem::from_observabilities(&graph, &vertex_obs, sim.num_vectors, params, r_min);
 
-    let ref_sol = min_obs(&graph, &problem, r0.clone()).unwrap();
-    let win_sol = solve(&graph, &problem, r0, SolverConfig::default()).unwrap();
+    let ref_sol = SolverSession::new(&graph, &problem)
+        .config(SolverConfig::default().with_p2(false))
+        .initial(r0.clone())
+        .run()
+        .unwrap();
+    let win_sol = SolverSession::new(&graph, &problem)
+        .initial(r0)
+        .run()
+        .unwrap();
     assert_eq!(ref_sol.retiming.get(f), -1, "MinObs takes the move");
     assert_eq!(win_sol.retiming.get(f), 0, "MinObsWin refuses it");
     assert!(win_sol.stats.p2_fixes >= 1, "P2 machinery fired");

@@ -225,22 +225,84 @@ proptest! {
     /// full pipeline initialization.
     #[test]
     fn solver_output_always_feasible(seed in 0u64..12) {
-        use minobswin::algorithm::{solve, SolverConfig};
-        use minobswin::init::{initialize, InitConfig};
+        use minobswin::init::InitConfig;
         use minobswin::verify::check_feasible;
-        use minobswin::Problem;
+        use minobswin::{Problem, SolverSession};
 
         let circuit = GeneratorConfig::new("feas", seed)
             .gates(70)
             .registers(14)
             .build();
         let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
-        let init = initialize(&graph, InitConfig::default()).unwrap();
+        let init = InitConfig::default().initialize(&graph).unwrap();
         let params = ElwParams { phi: init.phi, t_setup: 0, t_hold: 2 };
         let counts = vec![3i64; graph.num_vertices()];
         let problem = Problem::from_observability_counts(&graph, &counts, params, init.r_min);
-        let sol = solve(&graph, &problem, init.retiming, SolverConfig::default()).unwrap();
+        let sol = SolverSession::new(&graph, &problem)
+            .initial(init.retiming)
+            .run()
+            .unwrap();
         prop_assert!(check_feasible(&graph, &problem, &sol.retiming).is_ok());
         prop_assert!(sol.objective_gain >= 0);
+    }
+
+    /// Differential oracle for the incremental constraint engine: after
+    /// every check — accepted or rejected, incremental or fallen back
+    /// to a full recompute (`pct = 0` forces the fallback on every
+    /// check) — the incremental verdict equals the from-scratch
+    /// `find_violation`, and the checker's retained labels stay
+    /// bit-identical to a fresh `LrLabels::compute` of its base.
+    #[test]
+    fn incremental_checker_matches_from_scratch_oracle(
+        seed in 0u64..10,
+        moves in prop::collection::vec(
+            (prop::collection::vec(0usize..64, 1..4), prop::sample::select(vec![-1i64, 1])),
+            1..15,
+        ),
+        pct in prop::sample::select(vec![0u32, 35, 100]),
+    ) {
+        use minobswin::incremental::{IncrementalChecker, PerfCounters};
+        use minobswin::init::InitConfig;
+        use minobswin::verify::find_violation;
+        use minobswin::Problem;
+
+        let circuit = GeneratorConfig::new("inc", seed)
+            .gates(50)
+            .registers(10)
+            .build();
+        let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
+        let init = InitConfig::default().initialize(&graph).unwrap();
+        let params = ElwParams { phi: init.phi, t_setup: 0, t_hold: 2 };
+        let counts = vec![2i64; graph.num_vertices()];
+        let problem = Problem::from_observability_counts(&graph, &counts, params, init.r_min);
+        prop_assume!(find_violation(&graph, &problem, &init.retiming).is_none());
+
+        let mut committed = init.retiming.clone();
+        let mut checker = IncrementalChecker::new(&graph, &problem, committed.clone(), pct);
+        let mut counters = PerfCounters::default();
+        for (indices, delta) in moves {
+            // A closed-set-style move: a few distinct vertices shifted
+            // by the same amount.
+            let mut move_set: Vec<VertexId> = indices
+                .iter()
+                .map(|&i| VertexId::new(1 + i % (graph.num_vertices() - 1)))
+                .collect();
+            move_set.sort();
+            move_set.dedup();
+            let mut r_tent = committed.clone();
+            for &v in &move_set {
+                r_tent.add(v, delta);
+            }
+            let expected = find_violation(&graph, &problem, &r_tent);
+            let got = checker.check_and_commit(&r_tent, &move_set, &mut counters);
+            prop_assert_eq!(&got, &expected, "seed {} move {:?}{:+}", seed, move_set, delta);
+            if got.is_none() {
+                committed = r_tent;
+            }
+            prop_assert_eq!(checker.base(), &committed);
+            let oracle = LrLabels::compute(&graph, &committed, params).unwrap();
+            prop_assert_eq!(checker.labels(), &oracle, "labels diverged, seed {}", seed);
+        }
+        prop_assert!(counters.checks() > 0);
     }
 }

@@ -12,6 +12,8 @@
 //!   --report FILE.csv                append a CSV result row
 //!   --vectors K  --frames N          simulation size (default 1024 / 15)
 //!   --seed S                         stimulus seed
+//!   --r-min R                        override the §V-derived R_min bound
+//!                                    (an over-tight bound exits 1: infeasible)
 //!   --no-equiv                       skip the bounded equivalence check
 //!
 //! retimer fault-sim INPUT[.bench|.blif|.v] [options]
@@ -29,9 +31,10 @@
 //!
 //! retimer bench-solve [options]
 //!
-//!   Benchmarks the solver's constraint-checking engines (incremental
-//!   dirty-region relaxation vs. full recomputes) over sample and
-//!   generated circuits, writing per-run counters as JSON.
+//!   Benchmarks the solver's incremental engines (dirty-region
+//!   constraint relaxation vs. full recomputes, and the warm-started
+//!   closure engine vs. fresh Dinic builds) over sample and generated
+//!   circuits, writing per-run counters as JSON.
 //!
 //!   --out FILE                       output path (default BENCH_solver.json)
 //!   --gates N,N,...                  generated circuit sizes (default 300,1000)
@@ -133,6 +136,7 @@ struct Options {
     vectors: usize,
     frames: usize,
     seed: u64,
+    r_min: Option<i64>,
     equiv: bool,
 }
 
@@ -146,6 +150,7 @@ fn parse_args() -> Result<Options, String> {
         vectors: 1024,
         frames: 15,
         seed: 0xC0FFEE,
+        r_min: None,
         equiv: true,
     };
     while let Some(arg) = args.next() {
@@ -171,12 +176,19 @@ fn parse_args() -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed needs an integer")?
             }
+            "--r-min" => {
+                options.r_min = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--r-min needs an integer")?,
+                )
+            }
             "--no-equiv" => options.equiv = false,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: retimer INPUT[.bench|.blif|.v] [--method minobs|minobswin|both] \
                      [--out FILE] [--report FILE.csv] [--vectors K] [--frames N] \
-                     [--seed S] [--no-equiv]"
+                     [--seed S] [--r-min R] [--no-equiv]"
                 );
                 std::process::exit(0);
             }
@@ -224,12 +236,14 @@ fn run() -> Result<(), CliError> {
     let circuit = read_netlist(&options.input)?;
     eprintln!("read {circuit}");
 
-    let config = RunConfig::default().with_sim(SimConfig {
-        num_vectors: options.vectors,
-        frames: options.frames,
-        warmup: 16,
-        seed: options.seed,
-    });
+    let config = RunConfig::default()
+        .with_sim(SimConfig {
+            num_vectors: options.vectors,
+            frames: options.frames,
+            warmup: 16,
+            seed: options.seed,
+        })
+        .with_r_min_override(options.r_min);
     let run = Experiment::new(&circuit).config(config).run()?;
 
     println!(
@@ -513,8 +527,9 @@ fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
     Ok(options)
 }
 
-/// Benchmarks the incremental constraint engine against full
-/// recomputes and writes the counters as JSON (`BENCH_solver.json`).
+/// Benchmarks the incremental constraint checker and the warm-started
+/// closure engine against their from-scratch counterparts and writes
+/// the counters as JSON (`BENCH_solver.json`).
 fn run_bench_solve() -> Result<(), CliError> {
     use bench_harness::solver_bench;
 
@@ -531,13 +546,17 @@ fn run_bench_solve() -> Result<(), CliError> {
         let record = solver_bench::measure(instance)?;
         println!(
             "{:<16} |V| {:>5} |E| {:>5}  inc {:>7.1} edges/check, full {:>8.1} \
-             ({:>5.1}x), {:.3}s vs {:.3}s",
+             ({:>5.1}x)  closure warm {:>8.0} arcs/call, fresh {:>9.0} ({:>5.1}x), \
+             {:.3}s vs {:.3}s",
             record.name,
             record.vertices,
             record.edges,
             record.incremental.stats.perf.edges_per_check(),
             record.full.stats.perf.edges_per_check(),
             record.edge_relaxation_ratio(),
+            record.incremental.stats.perf.arcs_per_closure(),
+            record.full.stats.perf.arcs_per_closure(),
+            record.closure_arc_ratio(),
             record.incremental.solve_seconds,
             record.full.solve_seconds,
         );

@@ -1,6 +1,7 @@
-//! Benchmark of the solver's constraint-checking engines: the
-//! incremental dirty-region checker against full from-scratch
-//! recomputes, on sample and generated circuits. Shared by the
+//! Benchmark of the solver's incremental engines against their
+//! from-scratch counterparts: the dirty-region constraint checker vs
+//! full recomputes, and the warm-started closure engine vs fresh Dinic
+//! builds, on sample and generated circuits. Shared by the
 //! `retimer bench-solve` subcommand and the `solver` criterion bench;
 //! the JSON it emits (`BENCH_solver.json`) is the tracked baseline.
 
@@ -8,6 +9,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use minobswin::algorithm::{SolverConfig, SolverStats};
+use minobswin::closure_inc::ClosureEngine;
 use minobswin::init::InitConfig;
 use minobswin::{Problem, SolveError, SolverSession};
 use netlist::generator::GeneratorConfig;
@@ -104,9 +106,11 @@ pub struct BenchRecord {
     pub vertices: usize,
     /// Retiming-graph edges.
     pub edges: usize,
-    /// The run with the incremental checker (default configuration).
+    /// The run with the incremental engines (default configuration:
+    /// dirty-region checker + warm-started closure).
     pub incremental: EngineRun,
-    /// The run with incremental checking disabled.
+    /// The run with both incremental engines disabled (from-scratch
+    /// checks, fresh Dinic per closure call).
     pub full: EngineRun,
 }
 
@@ -120,6 +124,18 @@ impl BenchRecord {
             return 0.0;
         }
         full / inc
+    }
+
+    /// How many times fewer arcs per closure call the warm-started
+    /// engine touches, compared to a fresh Dinic build (higher is
+    /// better).
+    pub fn closure_arc_ratio(&self) -> f64 {
+        let warm = self.incremental.stats.perf.arcs_per_closure();
+        let fresh = self.full.stats.perf.arcs_per_closure();
+        if warm <= 0.0 {
+            return 0.0;
+        }
+        fresh / warm
     }
 }
 
@@ -149,7 +165,12 @@ fn timed_run(instance: &BenchInstance, config: SolverConfig) -> Result<EngineRun
 /// required to be bit-identical.
 pub fn measure(instance: &BenchInstance) -> Result<BenchRecord, SolveError> {
     let incremental = timed_run(instance, SolverConfig::default())?;
-    let full = timed_run(instance, SolverConfig::default().with_incremental(false))?;
+    let full = timed_run(
+        instance,
+        SolverConfig::default()
+            .with_incremental(false)
+            .with_closure_engine(ClosureEngine::Fresh),
+    )?;
     assert_eq!(
         incremental.objective_gain, full.objective_gain,
         "{}: the two constraint engines must agree bit-for-bit",
@@ -184,7 +205,12 @@ fn push_engine(out: &mut String, indent: &str, label: &str, run: &EngineRun) {
          {indent}  \"dirty_vertices\": {},\n\
          {indent}  \"max_dirty\": {},\n\
          {indent}  \"check_nanos\": {},\n\
-         {indent}  \"closure_nanos\": {}\n\
+         {indent}  \"closure_nanos\": {},\n\
+         {indent}  \"closure_calls\": {},\n\
+         {indent}  \"closure_arcs_touched\": {},\n\
+         {indent}  \"closure_fallback_full\": {},\n\
+         {indent}  \"arcs_per_closure\": {:.3},\n\
+         {indent}  \"closure_warm_nanos\": {}\n\
          {indent}}}",
         run.solve_seconds,
         run.objective_gain,
@@ -201,6 +227,11 @@ fn push_engine(out: &mut String, indent: &str, label: &str, run: &EngineRun) {
         p.max_dirty,
         p.check_nanos,
         p.closure_nanos,
+        p.closure_calls,
+        p.closure_arcs_touched,
+        p.closure_fallback_full,
+        p.arcs_per_closure(),
+        p.closure_warm_nanos,
     );
 }
 
@@ -208,7 +239,7 @@ fn push_engine(out: &mut String, indent: &str, label: &str, run: &EngineRun) {
 /// (hand-rolled: the workspace deliberately has no serde dependency).
 pub fn to_json(records: &[BenchRecord]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"benchmark\": \"solver-constraint-engines\",\n  \"version\": 1,\n");
+    out.push_str("{\n  \"benchmark\": \"solver-constraint-engines\",\n  \"version\": 2,\n");
     out.push_str("  \"circuits\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
@@ -221,8 +252,9 @@ pub fn to_json(records: &[BenchRecord]) -> String {
         push_engine(&mut out, "      ", "full", &r.full);
         let _ = write!(
             out,
-            ",\n      \"edge_relaxation_ratio\": {:.3}\n    }}",
-            r.edge_relaxation_ratio()
+            ",\n      \"edge_relaxation_ratio\": {:.3},\n      \"closure_arc_ratio\": {:.3}\n    }}",
+            r.edge_relaxation_ratio(),
+            r.closure_arc_ratio()
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -242,10 +274,36 @@ mod tests {
         let json = to_json(&records);
         assert!(json.contains("\"solver-constraint-engines\""));
         assert!(json.contains("\"edge_relaxation_ratio\""));
+        assert!(json.contains("\"closure_arc_ratio\""));
+        assert!(json.contains("\"closure_warm_nanos\""));
         for r in &records {
             assert_eq!(r.incremental.stats.commits, r.full.stats.commits);
             assert_eq!(r.full.stats.perf.incremental_checks, 0);
+            assert_eq!(
+                r.incremental.stats.perf.closure_calls, r.full.stats.perf.closure_calls,
+                "{}: identical trajectories make the same closure calls",
+                r.name
+            );
+            assert_eq!(r.full.stats.perf.closure_warm_nanos, 0);
         }
+    }
+
+    #[test]
+    fn warm_closure_beats_fresh_on_a_generated_circuit() {
+        let instance = generated_instance(300).unwrap();
+        let record = measure(&instance).unwrap();
+        println!(
+            "closure_arc_ratio = {:.2} (warm {:.0} vs fresh {:.0} arcs/call, {} calls)",
+            record.closure_arc_ratio(),
+            record.incremental.stats.perf.arcs_per_closure(),
+            record.full.stats.perf.arcs_per_closure(),
+            record.incremental.stats.perf.closure_calls,
+        );
+        assert!(
+            record.closure_arc_ratio() >= 10.0,
+            "expected >=10x fewer arcs touched per closure call, got {:.2}x",
+            record.closure_arc_ratio()
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::time::Instant;
 use retime::{RetimeGraph, Retiming, VertexId};
 
 use crate::closure::ConstraintSystem;
+use crate::closure_inc::{ClosureEngine, IncrementalClosure};
 use crate::incremental::{IncrementalChecker, PerfCounters};
 use crate::problem::Problem;
 use crate::verify::{check_feasible, find_violation, Violation};
@@ -67,6 +68,13 @@ pub struct SolverConfig {
     /// Fall back to a full recompute when the dirty region exceeds
     /// this percentage of `|V|` (only meaningful with `incremental`).
     pub max_dirty_percent: u32,
+    /// Which max-gain closure engine selects each iteration's move set
+    /// ([`crate::closure_inc`]). The default warm-started engine
+    /// persists the flow network's residual across iterations; `Fresh`
+    /// rebuilds it every call (the engines are bit-identical by the
+    /// canonical closure-selection rule, so this is purely a
+    /// performance knob).
+    pub closure_engine: ClosureEngine,
 }
 
 impl Default for SolverConfig {
@@ -77,6 +85,7 @@ impl Default for SolverConfig {
             bidirectional: true,
             incremental: true,
             max_dirty_percent: 50,
+            closure_engine: ClosureEngine::default(),
         }
     }
 }
@@ -111,6 +120,12 @@ impl SolverConfig {
     /// `|V|`.
     pub fn with_max_dirty_percent(mut self, percent: u32) -> Self {
         self.max_dirty_percent = percent;
+        self
+    }
+
+    /// Selects the closure engine ([`ClosureEngine::Warm`] by default).
+    pub fn with_closure_engine(mut self, engine: ClosureEngine) -> Self {
+        self.closure_engine = engine;
         self
     }
 }
@@ -276,6 +291,12 @@ fn run_phase(
     let mut checker = config
         .incremental
         .then(|| IncrementalChecker::new(graph, problem, r.clone(), config.max_dirty_percent));
+    // One warm closure engine per phase: it observes `system`'s change
+    // log, so its lifetime must match the constraint system's.
+    let mut warm_closure = match config.closure_engine {
+        ClosureEngine::Warm { rebuild_percent } => Some(IncrementalClosure::new(rebuild_percent)),
+        ClosureEngine::Fresh => None,
+    };
 
     let mut local_iterations = 0usize;
     loop {
@@ -294,7 +315,26 @@ fn run_phase(
             return Err(SolveError::IterationLimit(local_iterations));
         }
         let t_closure = Instant::now();
-        let move_set = system.max_gain_closed_set();
+        let move_set = match warm_closure.as_mut() {
+            Some(engine) => {
+                let members = engine.select(&system, &mut stats.perf);
+                // Differential oracle: in debug builds every warm
+                // selection is compared against the from-scratch engine
+                // (the canonical rule makes them bit-identical).
+                debug_assert_eq!(
+                    members,
+                    system.max_gain_closed_set(),
+                    "warm closure engine diverged from the from-scratch oracle"
+                );
+                members
+            }
+            None => {
+                let (members, touched) = system.max_gain_closed_set_counted();
+                stats.perf.closure_calls += 1;
+                stats.perf.closure_arcs_touched += touched;
+                members
+            }
+        };
         stats.perf.closure_nanos += t_closure.elapsed().as_nanos() as u64;
         if move_set.is_empty() {
             break;

@@ -12,6 +12,27 @@
 //! a min-cut (the classical project-selection reduction), over the
 //! deduplicated constraint arcs. Memory stays `O(|V| + |A|)` with
 //! `|A| ≤ |V|²` (in practice a small multiple of `|E|`).
+//!
+//! # The canonical closure-selection rule
+//!
+//! A flow network can have many minimum cuts, so "the" max-gain closed
+//! set is under-determined unless a tie-break is fixed. Both this
+//! engine and the warm-started [`crate::closure_inc`] engine implement
+//! the same canonical rule: **the inclusion-minimal maximum-gain
+//! closed set**, i.e. the source side of the source-minimal min cut,
+//! obtained as the set of vertices reachable from the source in the
+//! residual graph of a maximum flow. By the Picard–Queyranne structure
+//! of minimum cuts, that set is the same for *every* maximum flow of
+//! the network — which is what makes the rule engine-independent: a
+//! from-scratch Dinic run and a warm-started residual reaching a
+//! (different) maximum flow extract bit-identical member lists.
+//!
+//! To support the warm-started engine, the system additionally keeps
+//! an append-only **change log** ([`ConstraintSystem::arc_log`],
+//! [`ConstraintSystem::gain_log`]): arcs are only ever added, weights
+//! only ever raised, freezes never undone, so a consumer that
+//! remembers log cursors can reconstruct exactly the capacity deltas
+//! between two closure calls.
 
 use std::collections::HashMap;
 
@@ -28,6 +49,8 @@ pub struct ConstraintSystem {
     arcs: HashMap<u32, Vec<u32>>,
     arc_set: HashMap<(u32, u32), ()>,
     num_arcs: usize,
+    arc_log: Vec<(u32, u32)>,
+    gain_log: Vec<u32>,
 }
 
 impl ConstraintSystem {
@@ -51,6 +74,8 @@ impl ConstraintSystem {
             arcs: HashMap::new(),
             arc_set: HashMap::new(),
             num_arcs: 0,
+            arc_log: Vec::new(),
+            gain_log: Vec::new(),
         }
     }
 
@@ -69,12 +94,20 @@ impl ConstraintSystem {
         self.weight[v.index()]
     }
 
+    /// The gain `b(v)·w(v)` the closure selection sees for `v`
+    /// (meaningless while `v` is frozen — frozen vertices contribute no
+    /// gain arc at all).
+    pub fn gain(&self, v: VertexId) -> i64 {
+        self.b[v.index()] * self.weight[v.index()]
+    }
+
     /// Raises the move weight of `v` (weights are monotone: lowering a
     /// weight could oscillate; see module docs). Returns `true` if the
     /// weight changed.
     pub fn raise_weight(&mut self, v: VertexId, w: i64) -> bool {
         if w > self.weight[v.index()] {
             self.weight[v.index()] = w;
+            self.gain_log.push(v.index() as u32);
             true
         } else {
             false
@@ -88,7 +121,26 @@ impl ConstraintSystem {
 
     /// Permanently freezes `v` (no closed set containing it may fire).
     pub fn freeze(&mut self, v: VertexId) {
-        self.frozen[v.index()] = true;
+        if !self.frozen[v.index()] {
+            self.frozen[v.index()] = true;
+            self.gain_log.push(v.index() as u32);
+        }
+    }
+
+    /// The append-only log of recorded constraint arcs, in insertion
+    /// order (deduplicated: one entry per distinct arc). Consumers that
+    /// remember a cursor into this log see exactly the arcs added since.
+    pub fn arc_log(&self) -> &[(u32, u32)] {
+        &self.arc_log
+    }
+
+    /// The append-only log of vertices whose effective gain state
+    /// changed (a weight raise or a freeze transition), in event order.
+    /// A vertex may appear multiple times; its current state is read
+    /// back through [`ConstraintSystem::gain`] /
+    /// [`ConstraintSystem::is_frozen`].
+    pub fn gain_log(&self) -> &[u32] {
+        &self.gain_log
     }
 
     /// Records the constraint `p → q`. Returns `true` if it is new.
@@ -107,6 +159,7 @@ impl ConstraintSystem {
         let key = (p.index() as u32, q.index() as u32);
         if self.arc_set.insert(key, ()).is_none() {
             self.arcs.entry(key.0).or_default().push(key.1);
+            self.arc_log.push(key);
             self.num_arcs += 1;
             true
         } else {
@@ -122,7 +175,20 @@ impl ConstraintSystem {
     /// Computes the maximum-gain closed set under the current arcs,
     /// weights and freezes. Returns the member list (empty when no
     /// closed set has positive gain — the termination condition).
+    ///
+    /// The returned set is the *canonical* one (see the module docs):
+    /// the inclusion-minimal maximum-gain closed set, listed in
+    /// ascending vertex order.
     pub fn max_gain_closed_set(&self) -> Vec<VertexId> {
+        self.max_gain_closed_set_counted().0
+    }
+
+    /// [`ConstraintSystem::max_gain_closed_set`] plus the number of
+    /// arcs the from-scratch min-cut touched (network construction,
+    /// BFS/DFS phases and cut extraction) — the cost metric the
+    /// warm-started [`crate::closure_inc`] engine is benchmarked
+    /// against.
+    pub fn max_gain_closed_set_counted(&self) -> (Vec<VertexId>, u64) {
         let n = self.len();
         // Nodes: 0..n = vertices, n = source, n+1 = sink.
         let source = n;
@@ -149,11 +215,11 @@ impl ConstraintSystem {
             }
         }
         if total_positive == 0 {
-            return Vec::new();
+            return (Vec::new(), dinic.touched);
         }
         let cut = dinic.max_flow(source, sink);
         if cut >= total_positive {
-            return Vec::new(); // best closure has gain <= 0
+            return (Vec::new(), dinic.touched); // best closure has gain <= 0
         }
         // Source side of the min cut = the max-gain closure.
         let reachable = dinic.min_cut_side(source);
@@ -163,7 +229,7 @@ impl ConstraintSystem {
             .collect();
         debug_assert!(self.gain_of(&members) > 0);
         debug_assert!(self.is_closed(&members));
-        members
+        (members, dinic.touched)
     }
 
     /// The gain `Σ b(v)·w(v)` of a vertex set.
@@ -198,7 +264,10 @@ impl ConstraintSystem {
     }
 }
 
-/// Dinic's max-flow (used only for the closure min-cut).
+/// Dinic's max-flow (used only for the closure min-cut). `touched`
+/// counts every arc examined (construction, BFS, DFS, cut extraction)
+/// so the from-scratch cost is comparable with the warm-started
+/// engine's `closure_arcs_touched`.
 #[derive(Debug)]
 struct Dinic {
     to: Vec<usize>,
@@ -206,6 +275,7 @@ struct Dinic {
     adj: Vec<Vec<usize>>,
     level: Vec<i32>,
     iter: Vec<usize>,
+    touched: u64,
 }
 
 impl Dinic {
@@ -216,10 +286,12 @@ impl Dinic {
             adj: vec![Vec::new(); n],
             level: vec![0; n],
             iter: vec![0; n],
+            touched: 0,
         }
     }
 
     fn add_edge(&mut self, from: usize, to: usize, cap: i64) {
+        self.touched += 1;
         self.adj[from].push(self.to.len());
         self.to.push(to);
         self.cap.push(cap);
@@ -234,6 +306,7 @@ impl Dinic {
         self.level[s] = 0;
         queue.push_back(s);
         while let Some(v) = queue.pop_front() {
+            self.touched += self.adj[v].len() as u64;
             for &e in &self.adj[v] {
                 if self.cap[e] > 0 && self.level[self.to[e]] < 0 {
                     self.level[self.to[e]] = self.level[v] + 1;
@@ -251,6 +324,7 @@ impl Dinic {
         while self.iter[v] < self.adj[v].len() {
             let e = self.adj[v][self.iter[v]];
             let u = self.to[e];
+            self.touched += 1;
             if self.cap[e] > 0 && self.level[u] == self.level[v] + 1 {
                 let d = self.dfs(u, t, f.min(self.cap[e]));
                 if d > 0 {
@@ -280,11 +354,12 @@ impl Dinic {
     }
 
     /// After `max_flow`, the residual-reachable side of the cut.
-    fn min_cut_side(&self, s: usize) -> Vec<bool> {
+    fn min_cut_side(&mut self, s: usize) -> Vec<bool> {
         let mut seen = vec![false; self.adj.len()];
         let mut stack = vec![s];
         seen[s] = true;
         while let Some(v) = stack.pop() {
+            self.touched += self.adj[v].len() as u64;
             for &e in &self.adj[v] {
                 if self.cap[e] > 0 && !seen[self.to[e]] {
                     seen[self.to[e]] = true;
@@ -401,6 +476,30 @@ mod tests {
     fn arc_to_host_panics() {
         let mut cs = ConstraintSystem::new(vec![0, 1]);
         cs.add_arc(v(1), v(0));
+    }
+
+    #[test]
+    fn change_log_records_arcs_weights_and_freezes() {
+        let mut cs = ConstraintSystem::new(vec![0, 5, -3]);
+        assert!(cs.arc_log().is_empty() && cs.gain_log().is_empty());
+        cs.add_arc(v(1), v(2));
+        cs.add_arc(v(1), v(2)); // duplicate: not logged again
+        assert_eq!(cs.arc_log(), &[(1, 2)]);
+        cs.raise_weight(v(2), 3);
+        cs.raise_weight(v(2), 2); // no-op: not logged
+        cs.freeze(v(1));
+        cs.freeze(v(1)); // idempotent: logged once
+        assert_eq!(cs.gain_log(), &[2, 1]);
+        assert_eq!(cs.gain(v(2)), -9);
+    }
+
+    #[test]
+    fn counted_selection_reports_touched_arcs() {
+        let mut cs = ConstraintSystem::new(vec![0, 5, -3]);
+        cs.add_arc(v(1), v(2));
+        let (set, touched) = cs.max_gain_closed_set_counted();
+        assert_eq!(set, cs.max_gain_closed_set());
+        assert!(touched > 0, "network build alone touches arcs");
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct RunConfig {
     pub rates: ErrorRateModel,
     /// §V initialization knobs (T_s, T_h, ε).
     pub init: InitConfig,
+    /// Overrides the §V-derived `R_min` bound (the `retimer --r-min`
+    /// flag). §V always chooses a bound the starting retiming
+    /// satisfies, so an over-tight override is the supported way to
+    /// drive the pipeline into [`SolveError::InfeasibleInitial`].
+    pub r_min_override: Option<i64>,
 }
 
 impl RunConfig {
@@ -63,6 +68,12 @@ impl RunConfig {
     /// Sets the §V initialization knobs.
     pub fn with_init(mut self, init: InitConfig) -> Self {
         self.init = init;
+        self
+    }
+
+    /// Overrides the `R_min` bound instead of deriving it per §V.
+    pub fn with_r_min_override(mut self, r_min: Option<i64>) -> Self {
+        self.r_min_override = r_min;
         self
     }
 }
@@ -186,6 +197,7 @@ impl<'a> Experiment<'a> {
 fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, SolveError> {
     let graph = RetimeGraph::from_circuit(circuit, &config.delays)?;
     let init = config.init.initialize(&graph)?;
+    let r_min = config.r_min_override.unwrap_or(init.r_min);
     let params = ElwParams {
         phi: init.phi,
         t_setup: config.init.t_setup,
@@ -197,13 +209,8 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
     let trace = FrameTrace::simulate(circuit, config.sim);
     let observability = Observability::compute(circuit, &trace);
     let vertex_obs = vertex_observabilities(circuit, &graph, &observability);
-    let problem = Problem::from_observabilities(
-        &graph,
-        &vertex_obs,
-        config.sim.num_vectors,
-        params,
-        init.r_min,
-    );
+    let problem =
+        Problem::from_observabilities(&graph, &vertex_obs, config.sim.num_vectors, params, r_min);
 
     let ser_config = SerConfig {
         sim: config.sim,
@@ -250,7 +257,7 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
         e: graph.num_edges(),
         ff,
         phi: init.phi,
-        r_min: init.r_min,
+        r_min,
         used_setup_hold: init.used_setup_hold,
         ser_original: original_report.ser,
         minobs: evaluate(&ref_sol.retiming, ref_secs, ref_sol.stats)?,
@@ -293,6 +300,17 @@ mod tests {
         assert!(run.minobs.registers > 0);
         assert!(run.minobswin.registers > 0);
         assert!(run.minobswin.stats.commits <= run.minobswin.stats.iterations);
+    }
+
+    #[test]
+    fn r_min_override_can_force_infeasibility() {
+        let c = samples::s27_like();
+        let err = Experiment::new(&c)
+            .config(RunConfig::small().with_r_min_override(Some(1_000_000)))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::InfeasibleInitial(_)));
+        assert_eq!(err.exit_code(), 1);
     }
 
     #[test]

@@ -81,6 +81,21 @@ pub struct PerfCounters {
     pub check_nanos: u64,
     /// Nanoseconds spent selecting max-gain closed sets.
     pub closure_nanos: u64,
+    /// Closure selections performed (either closure engine).
+    pub closure_calls: u64,
+    /// Arcs examined by the closure engine (network construction,
+    /// BFS/DFS phases, flow repair and cut extraction) — counted
+    /// identically by the from-scratch and warm-started engines so the
+    /// reuse ratio is directly comparable.
+    pub closure_arcs_touched: u64,
+    /// Warm-engine selections that fell back to a fresh network build
+    /// because the delta batch dirtied more vertices than its
+    /// `rebuild_percent` threshold allows.
+    pub closure_fallback_full: u64,
+    /// Nanoseconds the warm engine spent inside
+    /// [`crate::closure_inc::IncrementalClosure::select`] (a subset of
+    /// `closure_nanos`; 0 under the from-scratch engine).
+    pub closure_warm_nanos: u64,
 }
 
 impl PerfCounters {
@@ -96,6 +111,14 @@ impl PerfCounters {
             return 0.0;
         }
         (self.edges_relaxed + self.edges_relaxed_full) as f64 / checks as f64
+    }
+
+    /// Mean arcs touched per closure selection.
+    pub fn arcs_per_closure(&self) -> f64 {
+        if self.closure_calls == 0 {
+            return 0.0;
+        }
+        self.closure_arcs_touched as f64 / self.closure_calls as f64
     }
 }
 

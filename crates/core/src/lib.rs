@@ -19,6 +19,9 @@
 //!   MinObs* baseline of ref \[17\],
 //! * [`incremental::IncrementalChecker`]: the dirty-cone constraint
 //!   engine behind the solver's per-move feasibility checks,
+//! * [`closure_inc::IncrementalClosure`]: the warm-started max-gain
+//!   closure engine (select with
+//!   [`algorithm::SolverConfig::with_closure_engine`]),
 //! * [`init::InitConfig`]: the §V choice of `Φ`, `R_min` and the
 //!   starting retiming,
 //! * [`experiment::Experiment`]: the end-to-end driver producing a
@@ -45,6 +48,7 @@
 
 pub mod algorithm;
 pub mod closure;
+pub mod closure_inc;
 pub mod experiment;
 pub mod forest;
 pub mod incremental;

@@ -148,6 +148,34 @@ mod tests {
     }
 
     #[test]
+    fn closure_engines_agree_end_to_end() {
+        use crate::closure_inc::ClosureEngine;
+        let (g, p) = instance(10);
+        let warm = SolverSession::new(&g, &p).run().unwrap();
+        let fresh = SolverSession::new(&g, &p)
+            .config(SolverConfig::default().with_closure_engine(ClosureEngine::Fresh))
+            .run()
+            .unwrap();
+        assert_eq!(warm.retiming, fresh.retiming);
+        assert_eq!(warm.objective_gain, fresh.objective_gain);
+        assert_eq!(warm.stats.commits, fresh.stats.commits);
+        assert_eq!(
+            warm.stats.perf.closure_calls,
+            fresh.stats.perf.closure_calls
+        );
+        // Both engines count the arcs they examine; reuse must not
+        // cost more than rebuilding on every call.
+        assert!(warm.stats.perf.closure_calls > 0);
+        assert!(
+            warm.stats.perf.closure_arcs_touched <= fresh.stats.perf.closure_arcs_touched,
+            "warm engine touched more arcs ({}) than fresh ({})",
+            warm.stats.perf.closure_arcs_touched,
+            fresh.stats.perf.closure_arcs_touched,
+        );
+        assert_eq!(fresh.stats.perf.closure_warm_nanos, 0);
+    }
+
+    #[test]
     fn infeasible_initial_reported() {
         let (g, p) = instance(2); // phi too tight for r = 0
         let err = SolverSession::new(&g, &p).run().unwrap_err();

@@ -151,3 +151,69 @@ fn retimer_rejects_unknown_format() {
         .expect("run retimer");
     assert!(!status.status.success());
 }
+
+#[test]
+fn retimer_exits_one_on_infeasible_instance() {
+    // The stable-exit-code contract: 1 = infeasible instance. §V always
+    // derives a bound the starting retiming satisfies, so the --r-min
+    // override is the supported lever for driving the solver into
+    // infeasibility on a perfectly valid netlist.
+    let dir = workdir("infeasible");
+    let input = dir.join("infeasible.bench");
+    let circuit = netlist::samples::pipeline(9, 3);
+    netlist::bench_format::write_file(&circuit, &input).expect("write input");
+
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--vectors",
+            "64",
+            "--frames",
+            "4",
+            "--r-min",
+            "1000000",
+        ])
+        .output()
+        .expect("run retimer");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("infeasible"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retimer_exits_two_on_usage_error() {
+    // 2 = usage error: an unknown flag.
+    let out = Command::new(bin())
+        .args(["input.bench", "--definitely-not-a-flag"])
+        .output()
+        .expect("run retimer");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+
+    // 2 also covers a missing input argument entirely.
+    let out = Command::new(bin()).output().expect("run retimer");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn retimer_exits_two_on_missing_input_file() {
+    // 2 = I/O error: a well-formed invocation pointing at a file that
+    // does not exist.
+    let out = Command::new(bin())
+        .arg("/definitely/not/a/real/path.bench")
+        .output()
+        .expect("run retimer");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

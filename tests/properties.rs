@@ -216,6 +216,83 @@ proptest! {
             prop_assert_eq!(gate.kind(), reparsed.gate(rid).kind());
         }
     }
+
+    /// Netlist round trip through BLIF preserves structure for
+    /// arbitrary generated circuits (the printer and parser are
+    /// inverses up to gate naming of outputs).
+    #[test]
+    fn blif_round_trip_structure(seed in 0u64..30) {
+        let circuit = GeneratorConfig::new("rtb", seed)
+            .gates(30 + (seed as usize % 50))
+            .registers(5 + (seed as usize % 10))
+            .build();
+        let text = netlist::blif::write(&circuit);
+        let reparsed = netlist::blif::parse(&text).unwrap();
+        prop_assert_eq!(circuit.len(), reparsed.len());
+        prop_assert_eq!(circuit.num_registers(), reparsed.num_registers());
+        prop_assert_eq!(circuit.num_edges(), reparsed.num_edges());
+        for (_, gate) in circuit.iter() {
+            if gate.kind() == GateKind::Output {
+                continue;
+            }
+            let rid = reparsed.find(gate.name()).unwrap();
+            prop_assert_eq!(gate.kind(), reparsed.gate(rid).kind());
+        }
+        // A second trip is a fixpoint: writing the reparsed circuit
+        // reproduces the text byte-for-byte.
+        prop_assert_eq!(netlist::blif::write(&reparsed), text);
+    }
+
+    /// Differential suite for the warm-started closure engine: random
+    /// mutation sequences (arc adds, weight raises, freezes) with a
+    /// selection after every step return exactly the canonical set the
+    /// from-scratch engine computes — same members, same gain — at a
+    /// forced-fallback (`pct = 0`), mixed (`35`) and never-fallback
+    /// (`100`) rebuild threshold.
+    #[test]
+    fn warm_closure_matches_fresh_closure(
+        gains in prop::collection::vec(-40i64..40, 4..24),
+        ops in prop::collection::vec(
+            (0usize..3, 1usize..24, 1usize..24, 2i64..5),
+            1..40,
+        ),
+        pct in prop::sample::select(vec![0u32, 35, 100]),
+    ) {
+        use minobswin::closure_inc::IncrementalClosure;
+        use minobswin::incremental::PerfCounters;
+
+        let mut b = vec![0i64];
+        b.extend(gains.iter());
+        let n = b.len();
+        let mut cs = ConstraintSystem::new(b);
+        let mut engine = IncrementalClosure::new(pct);
+        let mut perf = PerfCounters::default();
+        let initial = engine.select(&cs, &mut perf);
+        prop_assert_eq!(&initial, &cs.max_gain_closed_set());
+        for (kind, p, q, w) in ops {
+            let p = VertexId::new(1 + p % (n - 1));
+            let q = VertexId::new(1 + q % (n - 1));
+            match kind {
+                0 if p != q => {
+                    cs.add_arc(p, q);
+                }
+                1 => {
+                    cs.raise_weight(q, w);
+                }
+                _ => cs.freeze(p),
+            }
+            let warm = engine.select(&cs, &mut perf);
+            let fresh = cs.max_gain_closed_set();
+            prop_assert_eq!(&warm, &fresh, "pct {}", pct);
+            prop_assert_eq!(cs.gain_of(&warm), cs.gain_of(&fresh));
+            // Selecting again without mutations serves the cache and
+            // must still agree.
+            prop_assert_eq!(&engine.select(&cs, &mut perf), &fresh);
+        }
+        if pct == 100 {
+            prop_assert_eq!(perf.closure_fallback_full, 0);
+        }
+    }
 }
 
 proptest! {
@@ -304,5 +381,74 @@ proptest! {
             prop_assert_eq!(checker.labels(), &oracle, "labels diverged, seed {}", seed);
         }
         prop_assert!(counters.checks() > 0);
+    }
+
+    /// End-to-end differential run of the closure engines: a full
+    /// solve with the warm-started engine (at the forced-fallback,
+    /// default and never-fallback thresholds) produces the identical
+    /// retiming, objective gain and commit trajectory as fresh Dinic
+    /// builds — and never touches more arcs.
+    #[test]
+    fn warm_closure_solver_matches_fresh_solver(
+        seed in 0u64..8,
+        pct in prop::sample::select(vec![0u32, 50, 100]),
+    ) {
+        use minobswin::algorithm::SolverConfig;
+        use minobswin::closure_inc::ClosureEngine;
+        use minobswin::init::InitConfig;
+        use minobswin::{Problem, SolverSession};
+
+        let circuit = GeneratorConfig::new("wcl", seed)
+            .gates(60)
+            .registers(12)
+            .build();
+        let graph = RetimeGraph::from_circuit(&circuit, &DelayModel::default()).unwrap();
+        let init = InitConfig::default().initialize(&graph).unwrap();
+        let params = ElwParams { phi: init.phi, t_setup: 0, t_hold: 2 };
+        let counts = vec![2i64; graph.num_vertices()];
+        let problem = Problem::from_observability_counts(&graph, &counts, params, init.r_min);
+        let warm = SolverSession::new(&graph, &problem)
+            .config(SolverConfig::default().with_closure_engine(
+                ClosureEngine::Warm { rebuild_percent: pct },
+            ))
+            .initial(init.retiming.clone())
+            .run()
+            .unwrap();
+        let fresh = SolverSession::new(&graph, &problem)
+            .config(SolverConfig::default().with_closure_engine(ClosureEngine::Fresh))
+            .initial(init.retiming)
+            .run()
+            .unwrap();
+        prop_assert_eq!(&warm.retiming, &fresh.retiming, "pct {}", pct);
+        prop_assert_eq!(warm.objective_gain, fresh.objective_gain);
+        prop_assert_eq!(warm.stats.commits, fresh.stats.commits);
+        prop_assert_eq!(warm.stats.perf.closure_calls, fresh.stats.perf.closure_calls);
+        // At pct = 0 every delta call rebuilds, so the only savings are
+        // the cached post-commit calls — and the two engines insert
+        // constraint arcs in different orders (log order vs HashMap
+        // order), making Dinic explore different augmenting paths of
+        // the same maximum flow. Allow that exploration-order noise;
+        // the cut itself is bit-identical (asserted above).
+        let budget = fresh.stats.perf.closure_arcs_touched
+            + fresh.stats.perf.closure_arcs_touched / 20;
+        prop_assert!(
+            warm.stats.perf.closure_arcs_touched <= budget,
+            "pct {}: warm touched {} arcs, fresh {}",
+            pct,
+            warm.stats.perf.closure_arcs_touched,
+            fresh.stats.perf.closure_arcs_touched
+        );
+        if pct == 100 {
+            // Never falling back, the warm engine must realize real
+            // reuse, not just tie the from-scratch engine.
+            prop_assert!(
+                warm.stats.perf.closure_arcs_touched * 2
+                    <= fresh.stats.perf.closure_arcs_touched,
+                "pct 100: warm touched {} arcs, fresh only {}",
+                warm.stats.perf.closure_arcs_touched,
+                fresh.stats.perf.closure_arcs_touched
+            );
+            prop_assert_eq!(warm.stats.perf.closure_fallback_full, 0);
+        }
     }
 }

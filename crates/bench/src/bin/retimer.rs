@@ -4,7 +4,7 @@
 //! the retimed netlist plus a machine-readable report.
 //!
 //! ```text
-//! retimer INPUT[.bench|.blif|.v] [options]
+//! retimer [solve] INPUT[.bench|.blif|.v] [options]
 //!
 //!   --method minobs|minobswin|both   optimizer (default: both)
 //!   --out FILE                       write the (MinObsWin) retimed netlist
@@ -15,6 +15,15 @@
 //!   --r-min R                        override the §V-derived R_min bound
 //!                                    (an over-tight bound exits 1: infeasible)
 //!   --no-equiv                       skip the bounded equivalence check
+//!   --time-budget SECS               wall-clock budget; on expiry the best
+//!                                    feasible retiming so far is emitted and
+//!                                    the tool exits 4
+//!   --max-iters N                    iteration budget (same degraded-exit
+//!                                    semantics)
+//!   --checkpoint PATH                periodically save solver state to
+//!                                    PATH.<method>.ckpt
+//!   --resume                         continue from the checkpoint files if
+//!                                    they exist
 //!
 //! retimer fault-sim INPUT[.bench|.blif|.v] [options]
 //!
@@ -39,17 +48,21 @@
 //!   --out FILE                       output path (default BENCH_solver.json)
 //!   --gates N,N,...                  generated circuit sizes (default 300,1000)
 //!   --samples-only                   skip the generated circuits
+//!   --time-budget SECS               wall-clock budget per solver run
+//!   --max-iters N                    iteration budget per solver run
 //! ```
 //!
 //! Exit codes are stable: 0 = success, 1 = infeasible instance,
-//! 2 = I/O or usage error, 3 = internal error (e.g. iteration limit).
+//! 2 = I/O or usage error, 3 = internal error (e.g. iteration limit),
+//! 4 = a solve budget expired and a degraded (but feasible) result was
+//! emitted.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use faultsim::{run_campaign, CampaignConfig, CrossCheck, DEFAULT_TOLERANCE};
 use minobswin::experiment::{Experiment, MethodResult, RunConfig};
-use minobswin::SolveError;
+use minobswin::{SolveBudget, SolveError};
 use netlist::{bench_format, blif, verilog, Circuit, DelayModel, NetlistError};
 use retime::apply::apply_retiming;
 use retime::{ElwParams, RetimeGraph};
@@ -112,15 +125,20 @@ impl From<String> for CliError {
     }
 }
 
+/// Exit code for "a solve budget expired; a degraded but feasible
+/// result was emitted".
+const EXIT_DEGRADED: u8 = 4;
+
 fn main() -> ExitCode {
     let subcommand = std::env::args().nth(1);
     let result = match subcommand.as_deref() {
         Some("fault-sim") => run_fault_sim(),
         Some("bench-solve") => run_bench_solve(),
-        _ => run(),
+        Some("solve") => run(true),
+        _ => run(false),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(e.exit_code())
@@ -138,10 +156,14 @@ struct Options {
     seed: u64,
     r_min: Option<i64>,
     equiv: bool,
+    time_budget: Option<f64>,
+    max_iters: Option<usize>,
+    checkpoint: Option<String>,
+    resume: bool,
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
+fn parse_args(skip_subcommand: bool) -> Result<Options, String> {
+    let mut args = std::env::args().skip(if skip_subcommand { 2 } else { 1 });
     let mut options = Options {
         input: String::new(),
         method: "both".into(),
@@ -152,6 +174,10 @@ fn parse_args() -> Result<Options, String> {
         seed: 0xC0FFEE,
         r_min: None,
         equiv: true,
+        time_budget: None,
+        max_iters: None,
+        checkpoint: None,
+        resume: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -184,11 +210,34 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--no-equiv" => options.equiv = false,
+            "--time-budget" => {
+                let secs: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--time-budget needs a number of seconds")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--time-budget needs a non-negative number".into());
+                }
+                options.time_budget = Some(secs);
+            }
+            "--max-iters" => {
+                options.max_iters = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--max-iters needs a non-negative integer")?,
+                )
+            }
+            "--checkpoint" => {
+                options.checkpoint = Some(args.next().ok_or("--checkpoint needs a path")?)
+            }
+            "--resume" => options.resume = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: retimer INPUT[.bench|.blif|.v] [--method minobs|minobswin|both] \
+                    "usage: retimer [solve] INPUT[.bench|.blif|.v] \
+                     [--method minobs|minobswin|both] \
                      [--out FILE] [--report FILE.csv] [--vectors K] [--frames N] \
-                     [--seed S] [--r-min R] [--no-equiv]"
+                     [--seed S] [--r-min R] [--no-equiv] [--time-budget SECS] \
+                     [--max-iters N] [--checkpoint PATH] [--resume]"
                 );
                 std::process::exit(0);
             }
@@ -204,6 +253,9 @@ fn parse_args() -> Result<Options, String> {
     if !matches!(options.method.as_str(), "minobs" | "minobswin" | "both") {
         return Err(format!("unknown method `{}`", options.method));
     }
+    if options.resume && options.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint PATH".into());
+    }
     Ok(options)
 }
 
@@ -214,6 +266,7 @@ fn read_netlist(path: &str) -> Result<Circuit, NetlistError> {
         Some("v") | Some("verilog") => verilog::read_file(path),
         _ => Err(NetlistError::Parse {
             line: 0,
+            col: 0,
             message: "unknown input format (use .bench, .blif or .v)".into(),
         }),
     }
@@ -226,16 +279,20 @@ fn write_netlist(circuit: &Circuit, path: &str) -> Result<(), NetlistError> {
         Some("v") | Some("verilog") => verilog::write_file(circuit, path),
         _ => Err(NetlistError::Parse {
             line: 0,
+            col: 0,
             message: "unknown output format (use .bench, .blif or .v)".into(),
         }),
     }
 }
 
-fn run() -> Result<(), CliError> {
-    let options = parse_args()?;
+fn run(skip_subcommand: bool) -> Result<u8, CliError> {
+    let options = parse_args(skip_subcommand)?;
     let circuit = read_netlist(&options.input)?;
     eprintln!("read {circuit}");
 
+    let budget = SolveBudget::new()
+        .with_wall_time(options.time_budget.map(std::time::Duration::from_secs_f64))
+        .with_max_iterations(options.max_iters);
     let config = RunConfig::default()
         .with_sim(SimConfig {
             num_vectors: options.vectors,
@@ -243,7 +300,10 @@ fn run() -> Result<(), CliError> {
             warmup: 16,
             seed: options.seed,
         })
-        .with_r_min_override(options.r_min);
+        .with_r_min_override(options.r_min)
+        .with_budget(budget)
+        .with_checkpoint(options.checkpoint.as_ref().map(std::path::PathBuf::from))
+        .with_resume(options.resume);
     let run = Experiment::new(&circuit).config(config).run()?;
 
     println!(
@@ -307,7 +367,27 @@ fn run() -> Result<(), CliError> {
         append_csv(report, &run)?;
         println!("appended {report}");
     }
-    Ok(())
+
+    // Report any degradation (tripped engine breakers, budget stops)
+    // on the methods the user asked for; a budget stop exits 4.
+    let mut degraded = false;
+    let reported: &[(&str, &MethodResult)] = match options.method.as_str() {
+        "minobs" => &[("minobs", &run.minobs)],
+        "minobswin" => &[("minobswin", &run.minobswin)],
+        _ => &[("minobs", &run.minobs), ("minobswin", &run.minobswin)],
+    };
+    for (label, m) in reported {
+        let report = m.stats.degradation;
+        if !report.is_clean() {
+            eprintln!("degradation [{label}]: {report}");
+        }
+        degraded |= report.budget_stop.is_some();
+    }
+    if degraded {
+        eprintln!("budget exceeded: emitted the best feasible retiming found so far (exit 4)");
+        return Ok(EXIT_DEGRADED);
+    }
+    Ok(0)
 }
 
 struct FaultSimOptions {
@@ -414,7 +494,7 @@ fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
 /// Scores a circuit with a Monte-Carlo injection campaign before and
 /// after retiming, cross-checking each campaign against the analytic
 /// model.
-fn run_fault_sim() -> Result<(), CliError> {
+fn run_fault_sim() -> Result<u8, CliError> {
     let options = parse_fault_sim_args()?;
     let circuit = read_netlist(&options.input)?;
     eprintln!("read {circuit}");
@@ -487,13 +567,15 @@ fn run_fault_sim() -> Result<(), CliError> {
             chosen.delta_ser * 100.0
         );
     }
-    Ok(())
+    Ok(0)
 }
 
 struct BenchSolveOptions {
     out: String,
     gates: Vec<usize>,
     samples_only: bool,
+    time_budget: Option<f64>,
+    max_iters: Option<usize>,
 }
 
 fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
@@ -502,6 +584,8 @@ fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
         out: "BENCH_solver.json".into(),
         gates: vec![300, 1000],
         samples_only: false,
+        time_budget: None,
+        max_iters: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -515,9 +599,27 @@ fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
                     .map_err(|_| format!("invalid --gates list `{list}`"))?;
             }
             "--samples-only" => options.samples_only = true,
+            "--time-budget" => {
+                let secs: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--time-budget needs a number of seconds")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--time-budget needs a non-negative number".into());
+                }
+                options.time_budget = Some(secs);
+            }
+            "--max-iters" => {
+                options.max_iters = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--max-iters needs a non-negative integer")?,
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: retimer bench-solve [--out FILE] [--gates N,N,...] [--samples-only]"
+                    "usage: retimer bench-solve [--out FILE] [--gates N,N,...] [--samples-only] \
+                     [--time-budget SECS] [--max-iters N]"
                 );
                 std::process::exit(0);
             }
@@ -530,7 +632,7 @@ fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
 /// Benchmarks the incremental constraint checker and the warm-started
 /// closure engine against their from-scratch counterparts and writes
 /// the counters as JSON (`BENCH_solver.json`).
-fn run_bench_solve() -> Result<(), CliError> {
+fn run_bench_solve() -> Result<u8, CliError> {
     use bench_harness::solver_bench;
 
     let options = parse_bench_solve_args()?;
@@ -540,10 +642,16 @@ fn run_bench_solve() -> Result<(), CliError> {
             instances.push(solver_bench::generated_instance(gates)?);
         }
     }
+    let budget = minobswin::SolveBudget::new()
+        .with_wall_time(options.time_budget.map(std::time::Duration::from_secs_f64))
+        .with_max_iterations(options.max_iters);
 
+    let mut degraded = false;
     let mut records = Vec::new();
     for instance in &instances {
-        let record = solver_bench::measure(instance)?;
+        let record = solver_bench::measure_with_budget(instance, &budget)?;
+        degraded |= record.incremental.stats.degradation.budget_stop.is_some()
+            || record.full.stats.degradation.budget_stop.is_some();
         println!(
             "{:<16} |V| {:>5} |E| {:>5}  inc {:>7.1} edges/check, full {:>8.1} \
              ({:>5.1}x)  closure warm {:>8.0} arcs/call, fresh {:>9.0} ({:>5.1}x), \
@@ -565,7 +673,11 @@ fn run_bench_solve() -> Result<(), CliError> {
 
     std::fs::write(&options.out, solver_bench::to_json(&records))?;
     println!("wrote {}", options.out);
-    Ok(())
+    if degraded {
+        eprintln!("budget exceeded: some runs were truncated (exit 4)");
+        return Ok(EXIT_DEGRADED);
+    }
+    Ok(0)
 }
 
 fn append_csv(path: &str, run: &minobswin::experiment::CircuitRun) -> std::io::Result<()> {

@@ -11,7 +11,7 @@ use std::time::Instant;
 use minobswin::algorithm::{SolverConfig, SolverStats};
 use minobswin::closure_inc::ClosureEngine;
 use minobswin::init::InitConfig;
-use minobswin::{Problem, SolveError, SolverSession};
+use minobswin::{Problem, SolveBudget, SolveError, SolverSession, Supervision};
 use netlist::generator::GeneratorConfig;
 use netlist::rng::Xoshiro256;
 use netlist::{samples, Circuit, DelayModel};
@@ -139,12 +139,23 @@ impl BenchRecord {
     }
 }
 
-fn timed_run(instance: &BenchInstance, config: SolverConfig) -> Result<EngineRun, SolveError> {
+fn timed_run(
+    instance: &BenchInstance,
+    config: SolverConfig,
+    budget: &SolveBudget,
+) -> Result<EngineRun, SolveError> {
+    // Fresh token per run: the limits are shared but a deadline expiry
+    // in one engine's run must not cancel the other's.
+    let per_run = SolveBudget::new()
+        .with_wall_time(budget.wall_time)
+        .with_max_iterations(budget.max_iterations)
+        .with_max_memory_estimate(budget.max_memory_estimate);
     let t0 = Instant::now();
-    let solution = SolverSession::new(&instance.graph, &instance.problem)
+    let outcome = SolverSession::new(&instance.graph, &instance.problem)
         .config(config)
         .initial(instance.initial.clone())
-        .run()?;
+        .run_supervised(Supervision::new().budget(per_run))?;
+    let solution = outcome.into_solution();
     Ok(EngineRun {
         solve_seconds: t0.elapsed().as_secs_f64(),
         objective_gain: solution.objective_gain,
@@ -152,7 +163,7 @@ fn timed_run(instance: &BenchInstance, config: SolverConfig) -> Result<EngineRun
     })
 }
 
-/// Runs both engines over one instance.
+/// Runs both engines over one instance with an unlimited budget.
 ///
 /// # Errors
 ///
@@ -164,18 +175,42 @@ fn timed_run(instance: &BenchInstance, config: SolverConfig) -> Result<EngineRun
 /// Panics if the two engines disagree on the objective gain — they are
 /// required to be bit-identical.
 pub fn measure(instance: &BenchInstance) -> Result<BenchRecord, SolveError> {
-    let incremental = timed_run(instance, SolverConfig::default())?;
+    measure_with_budget(instance, &SolveBudget::new())
+}
+
+/// Runs both engines over one instance under `budget` (each engine run
+/// gets a fresh deadline derived from the budget's limits).
+///
+/// # Errors
+///
+/// See [`measure`].
+///
+/// # Panics
+///
+/// As [`measure`], except the bit-identity assertion is skipped when
+/// either run was degraded by the budget (a truncated run legitimately
+/// stops at a different objective).
+pub fn measure_with_budget(
+    instance: &BenchInstance,
+    budget: &SolveBudget,
+) -> Result<BenchRecord, SolveError> {
+    let incremental = timed_run(instance, SolverConfig::default(), budget)?;
     let full = timed_run(
         instance,
         SolverConfig::default()
             .with_incremental(false)
             .with_closure_engine(ClosureEngine::Fresh),
+        budget,
     )?;
-    assert_eq!(
-        incremental.objective_gain, full.objective_gain,
-        "{}: the two constraint engines must agree bit-for-bit",
-        instance.name
-    );
+    let degraded = incremental.stats.degradation.budget_stop.is_some()
+        || full.stats.degradation.budget_stop.is_some();
+    if !degraded {
+        assert_eq!(
+            incremental.objective_gain, full.objective_gain,
+            "{}: the two constraint engines must agree bit-for-bit",
+            instance.name
+        );
+    }
     Ok(BenchRecord {
         name: instance.name.clone(),
         vertices: instance.graph.num_vertices(),

@@ -20,6 +20,7 @@
 //! 19–21") yields the *Efficient MinObs* baseline of ref \[17\] — see
 //! [`crate::minobs`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use retime::{RetimeGraph, Retiming, VertexId};
@@ -28,6 +29,10 @@ use crate::closure::ConstraintSystem;
 use crate::closure_inc::{ClosureEngine, IncrementalClosure};
 use crate::incremental::{IncrementalChecker, PerfCounters};
 use crate::problem::Problem;
+use crate::supervisor::{
+    instance_digest, memory_estimate, Checkpoint, DegradationReport, DegradedSolution, Sabotage,
+    SolveOutcome, Supervision, SupervisorRt, TripCause,
+};
 use crate::verify::{check_feasible, find_violation, Violation};
 use crate::SolveError;
 
@@ -75,6 +80,11 @@ pub struct SolverConfig {
     /// canonical closure-selection rule, so this is purely a
     /// performance knob).
     pub closure_engine: ClosureEngine,
+    /// Test-only fault injection into the incremental engines; see
+    /// [`Sabotage`]. Production code leaves this at the default
+    /// [`Sabotage::None`].
+    #[doc(hidden)]
+    pub sabotage: Sabotage,
 }
 
 impl Default for SolverConfig {
@@ -86,6 +96,7 @@ impl Default for SolverConfig {
             incremental: true,
             max_dirty_percent: 50,
             closure_engine: ClosureEngine::default(),
+            sabotage: Sabotage::None,
         }
     }
 }
@@ -128,6 +139,14 @@ impl SolverConfig {
         self.closure_engine = engine;
         self
     }
+
+    /// Test-only: injects a fault into an incremental engine so the
+    /// supervisor's circuit breakers can be exercised.
+    #[doc(hidden)]
+    pub fn with_sabotage(mut self, sabotage: Sabotage) -> Self {
+        self.sabotage = sabotage;
+        self
+    }
 }
 
 /// Counters describing a solver run (the paper reports `#J`, the
@@ -156,6 +175,10 @@ pub struct SolverStats {
     /// Constraint-checking perf counters (edges relaxed, dirty-region
     /// sizes, incremental/full split, per-phase nanos).
     pub perf: PerfCounters,
+    /// How far the supervisor degraded this run (breaker trips, budget
+    /// stops, restarts); [`DegradationReport::is_clean`] on a healthy
+    /// solve.
+    pub degradation: DegradationReport,
 }
 
 /// The result of a solver run.
@@ -192,14 +215,30 @@ pub fn solve(
     run_solver(graph, problem, initial, config)
 }
 
-/// The solver core behind [`crate::SolverSession`] (and the deprecated
-/// [`solve`] wrapper).
+/// The solver core behind [`crate::SolverSession::run`] (and the
+/// deprecated [`solve`] wrapper): unsupervised — no budget, no
+/// checkpoints — so the outcome is always complete.
 pub(crate) fn run_solver(
     graph: &RetimeGraph,
     problem: &Problem,
     initial: Retiming,
     config: SolverConfig,
 ) -> Result<Solution, SolveError> {
+    run_supervised_solver(graph, problem, initial, config, Supervision::default())
+        .map(SolveOutcome::into_solution)
+}
+
+/// The supervised solver core behind
+/// [`crate::SolverSession::run_supervised`]: budgets, panic-isolated
+/// engines with self-healing fallback, checkpoint/resume, and a final
+/// verification gate (see [`crate::supervisor`]).
+pub(crate) fn run_supervised_solver(
+    graph: &RetimeGraph,
+    problem: &Problem,
+    initial: Retiming,
+    config: SolverConfig,
+    supervision: Supervision,
+) -> Result<SolveOutcome, SolveError> {
     let effective_problem = if config.enable_p2 {
         problem.clone()
     } else {
@@ -209,33 +248,149 @@ pub(crate) fn run_solver(
         }
     };
     let problem = &effective_problem;
-    if let Err(v) = check_feasible(graph, problem, &initial) {
-        return Err(SolveError::InfeasibleInitial(format!("{v:?}")));
+    let digest = instance_digest(graph, problem, config.enable_p2, config.bidirectional);
+    let mut rt = SupervisorRt::new(supervision, digest);
+
+    let mut initial = initial;
+    let mut stats = SolverStats::default();
+    let mut seed: Option<PhaseSeed> = None;
+    if let Some(cp) = rt.take_resume() {
+        cp.validate(graph.num_vertices(), digest)
+            .map_err(SolveError::Checkpoint)?;
+        let resumed = Retiming::from_values(graph, cp.retiming.clone())?;
+        if let Err(v) = check_feasible(graph, problem, &resumed) {
+            return Err(SolveError::Checkpoint(format!(
+                "checkpointed retiming is infeasible: {v:?}"
+            )));
+        }
+        if cp.complete {
+            // The interrupted solve had already finished; report the
+            // same result instantly.
+            stats.iterations = cp.iterations;
+            stats.commits = cp.commits;
+            stats.degradation = rt.report;
+            return Ok(SolveOutcome::Complete(Solution {
+                objective_gain: problem.objective(&resumed) - cp.start_objective,
+                retiming: resumed,
+                stats,
+            }));
+        }
+        rt.start_objective = cp.start_objective;
+        rt.round_start_commits = cp.round_start_commits;
+        stats.iterations = cp.iterations;
+        stats.commits = cp.commits;
+        seed = Some(PhaseSeed::from_checkpoint(cp));
+        initial = resumed;
+    } else {
+        if let Err(v) = check_feasible(graph, problem, &initial) {
+            return Err(SolveError::InfeasibleInitial(format!("{v:?}")));
+        }
+        rt.start_objective = problem.objective(&initial);
     }
 
+    let mut r = solve_loop(
+        graph,
+        problem,
+        initial.clone(),
+        config,
+        &mut rt,
+        &mut stats,
+        seed,
+    )?;
+
+    // Final verification gate: the last rung of the degradation
+    // ladder. An engine corruption that slipped between sampled audits
+    // can only surface here; redo the whole solve with the
+    // from-scratch engines (bit-identical by construction, so this is
+    // always sound — just slow).
+    if check_feasible(graph, problem, &r).is_err() {
+        rt.report.full_restart = true;
+        rt.trip_checker(stats.iterations, TripCause::Divergence);
+        stats.perf.breaker_trips += 1;
+        let safe = config
+            .with_incremental(false)
+            .with_closure_engine(ClosureEngine::Fresh)
+            .with_sabotage(Sabotage::None);
+        r = solve_loop(graph, problem, initial, safe, &mut rt, &mut stats, None)?;
+        if let Err(v) = check_feasible(graph, problem, &r) {
+            return Err(SolveError::Verification(format!(
+                "from-scratch re-solve still infeasible: {v:?}"
+            )));
+        }
+    }
+
+    // A terminal checkpoint lets `--resume` of a finished solve return
+    // instantly; a budget-stopped solve keeps its resumable snapshot.
+    if rt.stop.is_none() && rt.has_sink() {
+        let cp = rt.snapshot(&r, None, false, stats.iterations, stats.commits, true);
+        rt.save(&cp);
+    }
+
+    stats.degradation = rt.report;
+    let solution = Solution {
+        objective_gain: problem.objective(&r) - rt.start_objective,
+        retiming: r,
+        stats,
+    };
+    Ok(match rt.stop {
+        Some(reason) => SolveOutcome::Degraded(DegradedSolution { solution, reason }),
+        None => SolveOutcome::Complete(solution),
+    })
+}
+
+/// The alternating descent/ascent schedule around [`run_phase`],
+/// entered fresh or from a checkpoint seed. Returns the best committed
+/// retiming; on a budget stop (`rt.stop` set) that is the
+/// best-so-far, not a local optimum.
+fn solve_loop(
+    graph: &RetimeGraph,
+    problem: &Problem,
+    initial: Retiming,
+    config: SolverConfig,
+    rt: &mut SupervisorRt,
+    stats: &mut SolverStats,
+    mut seed: Option<PhaseSeed>,
+) -> Result<Retiming, SolveError> {
     // Hoisted out of the phase loop: the cap only depends on |V|.
     let n = graph.num_vertices();
     let iteration_cap = config.max_iterations.unwrap_or(8 * n * n + 10_000);
-
-    let start_objective = problem.objective(&initial);
     let mut r = initial;
-    let mut stats = SolverStats::default();
     // The paper's schedule is the single descent phase. With
     // `bidirectional`, alternate descent and ascent until neither
     // commits (each committing phase strictly improves the bounded
     // objective, so this terminates).
+    let mut resuming = seed.is_some();
     loop {
-        let before = stats.commits;
-        r = run_phase(
-            graph,
-            problem,
-            r,
-            config,
-            iteration_cap,
-            Direction::Decrease,
-            &mut stats,
-        )?;
+        let before = if resuming {
+            rt.round_start_commits
+        } else {
+            stats.commits
+        };
+        rt.round_start_commits = before;
+        let resume_in_increase = resuming && seed.as_ref().is_some_and(|s| s.direction_increase);
+        if !resume_in_increase {
+            let phase_seed = if resuming { seed.take() } else { None };
+            r = run_phase(
+                graph,
+                problem,
+                r,
+                config,
+                iteration_cap,
+                Direction::Decrease,
+                stats,
+                rt,
+                phase_seed,
+            )?;
+            if rt.stop.is_some() {
+                return Ok(r);
+            }
+        }
         if config.bidirectional {
+            let phase_seed = if resume_in_increase {
+                seed.take()
+            } else {
+                None
+            };
             r = run_phase(
                 graph,
                 problem,
@@ -243,20 +398,20 @@ pub(crate) fn run_solver(
                 config,
                 iteration_cap,
                 Direction::Increase,
-                &mut stats,
+                stats,
+                rt,
+                phase_seed,
             )?;
+            if rt.stop.is_some() {
+                return Ok(r);
+            }
         }
+        resuming = false;
         if stats.commits == before {
             break;
         }
     }
-
-    debug_assert!(check_feasible(graph, problem, &r).is_ok());
-    Ok(Solution {
-        objective_gain: problem.objective(&r) - start_objective,
-        retiming: r,
-        stats,
-    })
+    Ok(r)
 }
 
 /// Which way registers move in the current phase.
@@ -269,6 +424,43 @@ enum Direction {
     Increase,
 }
 
+/// A checkpoint's constraint-system state, replayed into the fresh
+/// `ConstraintSystem` of the phase being resumed. Replaying through
+/// the public API repopulates the change logs, so the warm closure
+/// engine rebuilds over the restored state exactly as it would have
+/// over the live one.
+#[derive(Debug)]
+struct PhaseSeed {
+    direction_increase: bool,
+    weights: Vec<i64>,
+    frozen: Vec<u32>,
+    arcs: Vec<(u32, u32)>,
+}
+
+impl PhaseSeed {
+    fn from_checkpoint(cp: Checkpoint) -> Self {
+        Self {
+            direction_increase: cp.direction_increase,
+            weights: cp.weights,
+            frozen: cp.frozen,
+            arcs: cp.arcs,
+        }
+    }
+
+    fn replay(&self, system: &mut ConstraintSystem) {
+        for (i, &w) in self.weights.iter().enumerate().skip(1) {
+            system.raise_weight(VertexId::new(i), w);
+        }
+        for &i in &self.frozen {
+            system.freeze(VertexId::new(i as usize));
+        }
+        for &(p, q) in &self.arcs {
+            system.add_arc(VertexId::new(p as usize), VertexId::new(q as usize));
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal: the supervised phase needs the full context
 fn run_phase(
     graph: &RetimeGraph,
     problem: &Problem,
@@ -277,6 +469,8 @@ fn run_phase(
     iteration_cap: usize,
     direction: Direction,
     stats: &mut SolverStats,
+    rt: &mut SupervisorRt,
+    seed: Option<PhaseSeed>,
 ) -> Result<Retiming, SolveError> {
     let sign = match direction {
         Direction::Decrease => -1i64,
@@ -287,19 +481,42 @@ fn run_phase(
     let gains: Vec<i64> = problem.b.iter().map(|&b| -sign * b).collect();
     let mut system = ConstraintSystem::new(gains);
     freeze_dead_vertices(graph, &mut system);
+    if let Some(seed) = &seed {
+        seed.replay(&mut system);
+    }
 
-    let mut checker = config
-        .incremental
+    // Engines are gated on their circuit breakers: once tripped (this
+    // phase or an earlier one), the fallback engine serves the rest of
+    // the solve.
+    let mut checker = (config.incremental && rt.checker_allowed())
         .then(|| IncrementalChecker::new(graph, problem, r.clone(), config.max_dirty_percent));
     // One warm closure engine per phase: it observes `system`'s change
     // log, so its lifetime must match the constraint system's.
     let mut warm_closure = match config.closure_engine {
-        ClosureEngine::Warm { rebuild_percent } => Some(IncrementalClosure::new(rebuild_percent)),
-        ClosureEngine::Fresh => None,
+        ClosureEngine::Warm { rebuild_percent } if rt.closure_allowed() => {
+            Some(IncrementalClosure::new(rebuild_percent))
+        }
+        _ => None,
     };
+    let direction_increase = direction == Direction::Increase;
 
     let mut local_iterations = 0usize;
     loop {
+        // Cooperative budget check: deadline / token / iteration /
+        // memory. On a stop, persist a resumable snapshot and unwind
+        // with the best-so-far (feasible) retiming.
+        if rt.should_stop(stats.iterations, || memory_estimate(graph, &system)) {
+            let cp = rt.snapshot(
+                &r,
+                Some(&system),
+                direction_increase,
+                stats.iterations,
+                stats.commits,
+                false,
+            );
+            rt.save(&cp);
+            return Ok(r);
+        }
         stats.iterations += 1;
         local_iterations += 1;
         if local_iterations > iteration_cap {
@@ -315,17 +532,56 @@ fn run_phase(
             return Err(SolveError::IterationLimit(local_iterations));
         }
         let t_closure = Instant::now();
-        let move_set = match warm_closure.as_mut() {
-            Some(engine) => {
-                let members = engine.select(&system, &mut stats.perf);
-                // Differential oracle: in debug builds every warm
-                // selection is compared against the from-scratch engine
-                // (the canonical rule makes them bit-identical).
-                debug_assert_eq!(
-                    members,
-                    system.max_gain_closed_set(),
-                    "warm closure engine diverged from the from-scratch oracle"
-                );
+        // --- Closure selection, isolated and audited. ---
+        let mut selected: Option<Vec<VertexId>> = None;
+        if let Some(engine) = warm_closure.as_mut() {
+            let sabotage = config.sabotage;
+            let call = stats.perf.closure_calls + 1;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut members = engine.select(&system, &mut stats.perf);
+                let sabotaged = sabotage.corrupt_closure(call, &mut members);
+                if !sabotaged {
+                    // Differential oracle: in debug builds every warm
+                    // selection is compared against the from-scratch
+                    // engine (the canonical rule makes them
+                    // bit-identical). In release builds the sampled
+                    // audit below takes over.
+                    debug_assert_eq!(
+                        members,
+                        system.max_gain_closed_set(),
+                        "warm closure engine diverged from the from-scratch oracle"
+                    );
+                }
+                members
+            }));
+            match outcome {
+                Ok(members) => selected = Some(members),
+                Err(_) => {
+                    // The engine panicked (or its debug oracle fired):
+                    // trip the breaker, abandon the possibly-corrupt
+                    // engine, recompute this selection from scratch.
+                    rt.trip_closure(stats.iterations, TripCause::Panic);
+                    stats.perf.breaker_trips += 1;
+                }
+            }
+        }
+        if !rt.closure_allowed() {
+            warm_closure = None;
+        }
+        let move_set = match selected {
+            Some(mut members) => {
+                if warm_closure.is_some() && rt.audit_due(stats.perf.closure_calls) {
+                    // Release-mode sampled divergence audit: re-run the
+                    // from-scratch engine and compare bit-for-bit.
+                    stats.perf.audit_checks += 1;
+                    let oracle = system.max_gain_closed_set();
+                    if members != oracle {
+                        rt.trip_closure(stats.iterations, TripCause::Divergence);
+                        stats.perf.breaker_trips += 1;
+                        warm_closure = None;
+                        members = oracle;
+                    }
+                }
                 members
             }
             None => {
@@ -344,17 +600,52 @@ fn run_phase(
             r_tent.add(v, sign * system.weight(v));
         }
         let t_check = Instant::now();
-        let verdict = match checker.as_mut() {
-            Some(checker) => {
-                let verdict = checker.check_and_commit(&r_tent, &move_set, &mut stats.perf);
-                // Differential oracle: in debug builds every single
-                // check is compared against the from-scratch engine.
-                debug_assert_eq!(
-                    verdict,
-                    find_violation(graph, problem, &r_tent),
-                    "incremental checker diverged from the from-scratch oracle"
-                );
+        // --- Constraint check, isolated and audited. ---
+        let mut checked: Option<Option<Violation>> = None;
+        if let Some(chk) = checker.as_mut() {
+            let sabotage = config.sabotage;
+            let check = stats.perf.checks() + 1;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut verdict = chk.check_and_commit(&r_tent, &move_set, &mut stats.perf);
+                let sabotaged = sabotage.corrupt_verdict(check, &mut verdict);
+                if !sabotaged {
+                    // Differential oracle: in debug builds every single
+                    // check is compared against the from-scratch engine.
+                    debug_assert_eq!(
+                        verdict,
+                        find_violation(graph, problem, &r_tent),
+                        "incremental checker diverged from the from-scratch oracle"
+                    );
+                }
                 verdict
+            }));
+            match outcome {
+                Ok(verdict) => checked = Some(verdict),
+                Err(_) => {
+                    rt.trip_checker(stats.iterations, TripCause::Panic);
+                    stats.perf.breaker_trips += 1;
+                }
+            }
+        }
+        if !rt.checker_allowed() {
+            checker = None;
+        }
+        let verdict = match checked {
+            Some(verdict) => {
+                if checker.is_some() && rt.audit_due(stats.perf.checks()) {
+                    stats.perf.audit_checks += 1;
+                    let oracle = find_violation(graph, problem, &r_tent);
+                    if verdict != oracle {
+                        rt.trip_checker(stats.iterations, TripCause::Divergence);
+                        stats.perf.breaker_trips += 1;
+                        checker = None;
+                        oracle
+                    } else {
+                        verdict
+                    }
+                } else {
+                    verdict
+                }
             }
             None => {
                 stats.perf.full_checks += 1;
@@ -393,6 +684,17 @@ fn run_phase(
                 }
                 apply_request(graph, &mut system, request, stats);
             }
+        }
+        if rt.checkpoint_due(stats.iterations) {
+            let cp = rt.snapshot(
+                &r,
+                Some(&system),
+                direction_increase,
+                stats.iterations,
+                stats.commits,
+                false,
+            );
+            rt.save(&cp);
         }
     }
     Ok(r)

@@ -2,6 +2,7 @@
 //! MinObs / MinObsWin → retimed netlists → SER re-analysis. One call
 //! produces everything a row of the paper's Table I reports.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use netlist::{Circuit, DelayModel};
@@ -15,6 +16,7 @@ use crate::algorithm::{SolverConfig, SolverStats};
 use crate::init::InitConfig;
 use crate::problem::Problem;
 use crate::session::SolverSession;
+use crate::supervisor::{Checkpoint, FileCheckpointSink, SolveBudget, Supervision};
 use crate::SolveError;
 
 /// Configuration of a full experiment run.
@@ -39,6 +41,19 @@ pub struct RunConfig {
     /// satisfies, so an over-tight override is the supported way to
     /// drive the pipeline into [`SolveError::InfeasibleInitial`].
     pub r_min_override: Option<i64>,
+    /// Resource budget shared by both solver runs (MinObs and
+    /// MinObsWin race the same deadline through the budget's shared
+    /// cancellation token). An expired budget degrades the affected
+    /// method to its best-so-far retiming; see
+    /// [`MethodResult::stats`]'s degradation report.
+    pub budget: SolveBudget,
+    /// Checkpoint path prefix: each method writes
+    /// `<prefix>.<method>.ckpt` periodically (the `retimer
+    /// --checkpoint` flag).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume each method from its checkpoint file when one exists
+    /// (the `retimer --resume` flag; requires [`RunConfig::checkpoint`]).
+    pub resume: bool,
 }
 
 impl RunConfig {
@@ -76,6 +91,29 @@ impl RunConfig {
         self.r_min_override = r_min;
         self
     }
+
+    /// Sets the solver budget (shared by both methods).
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the checkpoint path prefix.
+    pub fn with_checkpoint(mut self, prefix: Option<PathBuf>) -> Self {
+        self.checkpoint = prefix;
+        self
+    }
+
+    /// Resumes from existing checkpoint files.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+}
+
+/// The per-method checkpoint file for a `--checkpoint` prefix.
+pub fn checkpoint_path(prefix: &Path, method: &str) -> PathBuf {
+    PathBuf::from(format!("{}.{method}.ckpt", prefix.display()))
 }
 
 /// Result of one optimization method on one circuit.
@@ -238,17 +276,34 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
         })
     };
 
+    // Both methods run under the same budget: wall-time expiry in one
+    // cancels the shared token, so the other degrades promptly instead
+    // of doubling the overrun.
+    let supervise = |method: &str| -> Result<Supervision, SolveError> {
+        let mut sup = Supervision::new().budget(config.budget.clone());
+        if let Some(prefix) = &config.checkpoint {
+            let path = checkpoint_path(prefix, method);
+            if config.resume && path.exists() {
+                sup = sup.resume_from(Checkpoint::read_file(&path)?);
+            }
+            sup = sup.checkpoint_to(FileCheckpointSink::new(path));
+        }
+        Ok(sup)
+    };
+
     let t0 = Instant::now();
     let ref_sol = SolverSession::new(&graph, &problem)
         .config(SolverConfig::default().with_p2(false))
         .initial(init.retiming.clone())
-        .run()?;
+        .run_supervised(supervise("minobs")?)?
+        .into_solution();
     let ref_secs = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
     let win_sol = SolverSession::new(&graph, &problem)
         .initial(init.retiming.clone())
-        .run()?;
+        .run_supervised(supervise("minobswin")?)?
+        .into_solution();
     let win_secs = t1.elapsed().as_secs_f64();
 
     Ok(CircuitRun {

@@ -96,6 +96,14 @@ pub struct PerfCounters {
     /// [`crate::closure_inc::IncrementalClosure::select`] (a subset of
     /// `closure_nanos`; 0 under the from-scratch engine).
     pub closure_warm_nanos: u64,
+    /// Sampled divergence audits performed by the supervisor (each
+    /// re-runs the from-scratch engine and compares bit-for-bit; see
+    /// [`crate::supervisor`]).
+    pub audit_checks: u64,
+    /// Circuit-breaker trips across both incremental engines (panic or
+    /// audited divergence; at most one per engine per solve, plus one
+    /// for a full-restart verification failure).
+    pub breaker_trips: u64,
 }
 
 impl PerfCounters {

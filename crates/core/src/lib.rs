@@ -56,10 +56,15 @@ pub mod init;
 pub mod minobs;
 mod problem;
 pub mod session;
+pub mod supervisor;
 pub mod verify;
 
 pub use problem::Problem;
 pub use session::SolverSession;
+pub use supervisor::{
+    CancelToken, Checkpoint, CheckpointSink, DegradationReport, FileCheckpointSink,
+    MemoryCheckpointSink, SolveBudget, SolveOutcome, StopReason, Supervision,
+};
 
 use std::error::Error;
 use std::fmt;
@@ -90,18 +95,28 @@ pub enum SolveError {
     Retime(retime::RetimeError),
     /// An I/O failure outside the netlist parser.
     Io(io::Error),
+    /// A checkpoint file could not be read or parsed, or does not
+    /// match the instance being resumed.
+    Checkpoint(String),
+    /// The solver's final verification gate failed even after the
+    /// from-scratch re-solve (indicates a bug in the core algorithm,
+    /// not the incremental engines).
+    Verification(String),
 }
 
 impl SolveError {
     /// The stable CLI exit code for this error: `1` infeasible
     /// instance, `2` I/O or parse failure, `3` internal error.
-    /// (Success is `0`, never an error.)
+    /// (Success is `0` and "budget exceeded, degraded result emitted"
+    /// is `4`; neither is an error.)
     pub fn exit_code(&self) -> u8 {
         match self {
             SolveError::InfeasibleInitial(_) | SolveError::Initialization(_) => 1,
             SolveError::Retime(retime::RetimeError::Infeasible(_)) => 1,
-            SolveError::Netlist(_) | SolveError::Io(_) => 2,
-            SolveError::IterationLimit(_) | SolveError::Retime(_) => 3,
+            SolveError::Netlist(_) | SolveError::Io(_) | SolveError::Checkpoint(_) => 2,
+            SolveError::IterationLimit(_) | SolveError::Retime(_) | SolveError::Verification(_) => {
+                3
+            }
         }
     }
 }
@@ -119,6 +134,8 @@ impl fmt::Display for SolveError {
             SolveError::Netlist(e) => write!(f, "netlist error: {e}"),
             SolveError::Retime(e) => write!(f, "retiming error: {e}"),
             SolveError::Io(e) => write!(f, "i/o error: {e}"),
+            SolveError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
+            SolveError::Verification(why) => write!(f, "verification failed: {why}"),
         }
     }
 }
@@ -189,6 +206,8 @@ mod tests {
             SolveError::from(retime::RetimeError::ZeroWeightCycle).exit_code(),
             3
         );
+        assert_eq!(SolveError::Checkpoint(String::new()).exit_code(), 2);
+        assert_eq!(SolveError::Verification(String::new()).exit_code(), 3);
     }
 
     #[test]

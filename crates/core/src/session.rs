@@ -23,8 +23,9 @@
 
 use retime::{RetimeGraph, Retiming};
 
-use crate::algorithm::{run_solver, Solution, SolverConfig};
+use crate::algorithm::{run_solver, run_supervised_solver, Solution, SolverConfig};
 use crate::problem::Problem;
+use crate::supervisor::{SolveOutcome, Supervision};
 use crate::SolveError;
 
 /// A configured solver run over one instance.
@@ -87,6 +88,24 @@ impl<'a> SolverSession<'a> {
     pub fn run(self) -> Result<Solution, SolveError> {
         let initial = self.initial.unwrap_or_else(|| Retiming::zero(self.graph));
         run_solver(self.graph, self.problem, initial, self.config)
+    }
+
+    /// Runs the solver under [`Supervision`]: budgets, panic-isolated
+    /// incremental engines with self-healing fallback, and
+    /// checkpoint/resume (see [`crate::supervisor`]). With the default
+    /// supervision this behaves exactly like [`SolverSession::run`]
+    /// and the outcome is always [`SolveOutcome::Complete`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SolverSession::run`] reports, plus
+    /// [`SolveError::Checkpoint`] when resuming from a checkpoint that
+    /// is unreadable or does not match this instance. A budget expiry
+    /// is **not** an error: it yields [`SolveOutcome::Degraded`] with
+    /// the best feasible retiming found so far.
+    pub fn run_supervised(self, supervision: Supervision) -> Result<SolveOutcome, SolveError> {
+        let initial = self.initial.unwrap_or_else(|| Retiming::zero(self.graph));
+        run_supervised_solver(self.graph, self.problem, initial, self.config, supervision)
     }
 }
 

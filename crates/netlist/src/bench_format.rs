@@ -17,16 +17,18 @@ use std::path::Path;
 use crate::circuit::{Circuit, CircuitBuilder};
 use crate::error::NetlistError;
 use crate::gate::GateKind;
+use crate::limits::ParseLimits;
 
-/// Parses a circuit from `.bench` text.
+/// Parses a circuit from `.bench` text with [`ParseLimits::default`].
 ///
 /// `name` becomes the circuit name (the format itself is anonymous).
 ///
 /// # Errors
 ///
 /// Returns [`NetlistError::Parse`] with a line number on syntax errors,
-/// and the usual structural errors (unknown signal, combinational
-/// cycle, …) from [`CircuitBuilder::build`].
+/// [`NetlistError::LimitExceeded`] when a resource limit trips, and the
+/// usual structural errors (unknown signal, combinational cycle, …)
+/// from [`CircuitBuilder::build`].
 ///
 /// # Examples
 ///
@@ -45,7 +47,35 @@ use crate::gate::GateKind;
 /// # }
 /// ```
 pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
+    parse_with_limits(text, name, &ParseLimits::default())
+}
+
+/// Parses a circuit from `.bench` text under explicit [`ParseLimits`].
+///
+/// # Errors
+///
+/// As [`parse`]; the limit checks use `limits` instead of the
+/// defaults.
+pub fn parse_with_limits(
+    text: &str,
+    name: &str,
+    limits: &ParseLimits,
+) -> Result<Circuit, NetlistError> {
+    crate::blif::scan_raw_lines(text, limits)?;
     let mut builder = CircuitBuilder::new(name);
+    let mut gates = 0usize;
+    let bump = |gates: &mut usize, line: usize| -> Result<(), NetlistError> {
+        *gates += 1;
+        if *gates > limits.max_gates {
+            return Err(NetlistError::LimitExceeded {
+                line,
+                what: "gate count",
+                value: *gates,
+                limit: limits.max_gates,
+            });
+        }
+        Ok(())
+    };
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
         let stripped = match raw.find('#') {
@@ -57,15 +87,17 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
             continue;
         }
         if let Some(rest) = strip_directive(stripped, "INPUT") {
-            let signal = parse_parenthesized(rest, line)?;
+            let signal = check_name(parse_parenthesized(rest, line)?, line, limits)?;
+            bump(&mut gates, line)?;
             builder
                 .gate(signal, GateKind::Input, &[])
                 .map_err(|e| at_line(e, line))?;
         } else if let Some(rest) = strip_directive(stripped, "OUTPUT") {
-            let signal = parse_parenthesized(rest, line)?;
+            let signal = check_name(parse_parenthesized(rest, line)?, line, limits)?;
+            bump(&mut gates, line)?;
             builder.output(signal).map_err(|e| at_line(e, line))?;
         } else if let Some(eq) = stripped.find('=') {
-            let target = stripped[..eq].trim();
+            let target = check_name(stripped[..eq].trim(), line, limits)?;
             if target.is_empty() {
                 return Err(parse_err(line, "missing signal name before `=`"));
             }
@@ -80,6 +112,18 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
                 .map(str::trim)
                 .filter(|s| !s.is_empty())
                 .collect();
+            if args.len() > limits.max_fanin {
+                return Err(NetlistError::LimitExceeded {
+                    line,
+                    what: "fanin count",
+                    value: args.len(),
+                    limit: limits.max_fanin,
+                });
+            }
+            for arg in &args {
+                check_name(arg, line, limits)?;
+            }
+            bump(&mut gates, line)?;
             let kind = GateKind::from_bench_name(func).map_err(|e| at_line(e, line))?;
             if kind == GateKind::Dff {
                 if args.len() != 1 {
@@ -145,7 +189,9 @@ pub fn write(circuit: &Circuit) -> String {
                 ));
             }
             kind => {
-                let func = kind.bench_name().expect("named kind");
+                let func = kind
+                    .bench_name()
+                    .expect("invariant: every non-constant logic kind has a .bench spelling");
                 let args: Vec<&str> = gate
                     .fanins()
                     .iter()
@@ -193,18 +239,36 @@ fn parse_parenthesized(text: &str, line: usize) -> Result<&str, NetlistError> {
     Ok(inner.trim())
 }
 
+fn check_name<'a>(
+    name: &'a str,
+    line: usize,
+    limits: &ParseLimits,
+) -> Result<&'a str, NetlistError> {
+    if name.len() > limits.max_name_len {
+        return Err(NetlistError::LimitExceeded {
+            line,
+            what: "name length",
+            value: name.len(),
+            limit: limits.max_name_len,
+        });
+    }
+    Ok(name)
+}
+
 fn parse_err(line: usize, message: &str) -> NetlistError {
     NetlistError::Parse {
         line,
+        col: 0,
         message: message.to_string(),
     }
 }
 
 fn at_line(err: NetlistError, line: usize) -> NetlistError {
     match err {
-        e @ NetlistError::Parse { .. } => e,
+        e @ NetlistError::Parse { .. } | e @ NetlistError::LimitExceeded { .. } => e,
         other => NetlistError::Parse {
             line,
+            col: 0,
             message: other.to_string(),
         },
     }
@@ -324,6 +388,41 @@ G17 = NOT(G11)
         assert_eq!(c2.name(), "minobswin_bench_test");
         assert_eq!(c1.len(), c2.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn limits_reject_hostile_inputs() {
+        let err = parse_with_limits(
+            "INPUT(a)\nx = AND(a, a, a)\nOUTPUT(x)\n",
+            "c",
+            &ParseLimits::default().with_max_fanin(2),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetlistError::LimitExceeded {
+                    what: "fanin count",
+                    line: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = parse_with_limits(S27_LIKE, "c", &ParseLimits::default().with_max_gates(4))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetlistError::LimitExceeded {
+                    what: "gate count",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = parse("INPUT(a)\nx = NOT(a\u{1}b)\nOUTPUT(x)\n", "c").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
     }
 
     #[test]

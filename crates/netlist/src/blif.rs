@@ -14,14 +14,15 @@ use std::path::Path;
 use crate::circuit::{Circuit, CircuitBuilder};
 use crate::error::NetlistError;
 use crate::gate::GateKind;
+use crate::limits::ParseLimits;
 
-/// Parses a circuit from BLIF text.
+/// Parses a circuit from BLIF text with [`ParseLimits::default`].
 ///
 /// # Errors
 ///
 /// Returns [`NetlistError::Parse`] on syntax errors or unsupported
-/// covers, plus the structural errors of
-/// [`CircuitBuilder::build`].
+/// covers, [`NetlistError::LimitExceeded`] when a resource limit
+/// trips, plus the structural errors of [`CircuitBuilder::build`].
 ///
 /// # Examples
 ///
@@ -46,9 +47,49 @@ use crate::gate::GateKind;
 /// # }
 /// ```
 pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    parse_with_limits(text, &ParseLimits::default())
+}
+
+/// Rejects over-long lines and embedded NUL/control bytes before any
+/// directive is interpreted. Shared by every text front end.
+pub(crate) fn scan_raw_lines(text: &str, limits: &ParseLimits) -> Result<(), NetlistError> {
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.len() > limits.max_line_len {
+            return Err(NetlistError::LimitExceeded {
+                line,
+                what: "line length",
+                value: raw.len(),
+                limit: limits.max_line_len,
+            });
+        }
+        if let Some((pos, c)) = raw
+            .char_indices()
+            .find(|&(_, c)| c.is_control() && c != '\t')
+        {
+            return Err(NetlistError::Parse {
+                line,
+                col: pos + 1,
+                message: format!("control character {:?} in input", c),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Parses a circuit from BLIF text under explicit [`ParseLimits`].
+///
+/// # Errors
+///
+/// As [`parse`]; the limit checks use `limits` instead of the
+/// defaults.
+pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Circuit, NetlistError> {
+    scan_raw_lines(text, limits)?;
+
     let mut name = String::from("blif");
     let mut builder: Option<CircuitBuilder> = None;
     let mut outputs: Vec<String> = Vec::new();
+    let mut gates = 0usize;
 
     // Join continuation lines, remembering original line numbers.
     let mut logical: Vec<(usize, String)> = Vec::new();
@@ -94,6 +135,14 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         if tokens.is_empty() {
             continue;
         }
+        if let Some(long) = tokens.iter().find(|t| t.len() > limits.max_name_len) {
+            return Err(NetlistError::LimitExceeded {
+                line,
+                what: "name length",
+                value: long.len(),
+                limit: limits.max_name_len,
+            });
+        }
         match tokens[0] {
             ".model" => {
                 if let Some(model_name) = tokens.get(1) {
@@ -106,12 +155,16 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
             ".inputs" => {
                 let b = builder.get_or_insert_with(|| CircuitBuilder::new(name.clone()));
                 for t in &tokens[1..] {
+                    bump_gates(&mut gates, line, limits)?;
                     b.gate(t, GateKind::Input, &[])
                         .map_err(|e| parse_err(line, &e.to_string()))?;
                 }
             }
             ".outputs" => {
-                outputs.extend(tokens[1..].iter().map(|s| s.to_string()));
+                for t in &tokens[1..] {
+                    bump_gates(&mut gates, line, limits)?;
+                    outputs.push((*t).to_string());
+                }
                 builder.get_or_insert_with(|| CircuitBuilder::new(name.clone()));
             }
             ".latch" => {
@@ -120,6 +173,7 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 if tokens.len() < 3 {
                     return Err(parse_err(line, ".latch needs input and output"));
                 }
+                bump_gates(&mut gates, line, limits)?;
                 b.dff(tokens[2], tokens[1])
                     .map_err(|e| parse_err(line, &e.to_string()))?;
             }
@@ -130,6 +184,15 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 }
                 let output = tokens[tokens.len() - 1];
                 let fanins: Vec<&str> = tokens[1..tokens.len() - 1].to_vec();
+                if fanins.len() > limits.max_fanin {
+                    return Err(NetlistError::LimitExceeded {
+                        line,
+                        what: "fanin count",
+                        value: fanins.len(),
+                        limit: limits.max_fanin,
+                    });
+                }
+                bump_gates(&mut gates, line, limits)?;
                 // Collect the cover rows that follow.
                 let mut rows: Vec<(String, char)> = Vec::new();
                 while idx < logical.len() {
@@ -264,8 +327,11 @@ fn classify_cover(fanins: &[&str], rows: &[(String, char)]) -> Option<CoverKind>
             GateKind::And
         }));
     }
-    // XOR/XNOR: 2^(n-1) fully-specified rows with odd (resp. even) parity.
-    if rows.len() == (1usize << (n - 1))
+    // XOR/XNOR: 2^(n-1) fully-specified rows with odd (resp. even)
+    // parity. The width guard keeps the shift defined for huge fanins
+    // (reachable only with `ParseLimits::unlimited`).
+    if n - 1 < usize::BITS as usize
+        && rows.len() == (1usize << (n - 1))
         && rows
             .iter()
             .all(|(p, _)| p.chars().all(|c| c == '0' || c == '1'))
@@ -435,8 +501,22 @@ pub fn write_file(circuit: &Circuit, path: impl AsRef<Path>) -> Result<(), Netli
 fn parse_err(line: usize, message: &str) -> NetlistError {
     NetlistError::Parse {
         line,
+        col: 0,
         message: message.to_string(),
     }
+}
+
+fn bump_gates(gates: &mut usize, line: usize, limits: &ParseLimits) -> Result<(), NetlistError> {
+    *gates += 1;
+    if *gates > limits.max_gates {
+        return Err(NetlistError::LimitExceeded {
+            line,
+            what: "gate count",
+            value: *gates,
+            limit: limits.max_gates,
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -540,6 +620,71 @@ mod tests {
             c.find("one").map(|g| c.gate(g).kind()),
             Some(GateKind::Const1)
         );
+    }
+
+    #[test]
+    fn limits_reject_hostile_inputs() {
+        let long = format!(".model c\n.inputs {}\n", "a".repeat(100));
+        let err =
+            parse_with_limits(&long, &ParseLimits::default().with_max_line_len(50)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetlistError::LimitExceeded {
+                    what: "line length",
+                    line: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err =
+            parse_with_limits(&long, &ParseLimits::default().with_max_name_len(10)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetlistError::LimitExceeded {
+                    what: "name length",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let src = ".model c\n.inputs a b c\n.outputs y\n.names a b c y\n111 1\n.end\n";
+        let err = parse_with_limits(src, &ParseLimits::default().with_max_fanin(2)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetlistError::LimitExceeded {
+                    what: "fanin count",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = parse_with_limits(TINY, &ParseLimits::default().with_max_gates(3)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetlistError::LimitExceeded {
+                    what: "gate count",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn control_characters_rejected_with_column() {
+        let err = parse(".model c\n.inputs a\u{0}b\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, col, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(col, 10);
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
     }
 
     #[test]

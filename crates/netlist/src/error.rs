@@ -27,12 +27,29 @@ pub enum NetlistError {
         /// Name of one gate on the cycle.
         witness: String,
     },
-    /// A syntax error at a specific line of an input file.
+    /// A syntax error at a specific line (and, when known, column) of
+    /// an input file.
     Parse {
-        /// 1-based line number.
+        /// 1-based line number (0 when unknown).
         line: usize,
+        /// 1-based column number; 0 when the column is unknown.
+        col: usize,
         /// Explanation.
         message: String,
+    },
+    /// A parser resource limit was exceeded (see
+    /// [`crate::limits::ParseLimits`]). Distinct from a syntax error:
+    /// the input may be well-formed but is too large to accept.
+    LimitExceeded {
+        /// 1-based line number at which the limit tripped (0 when the
+        /// limit is global, e.g. total gate count).
+        line: usize,
+        /// Which limit tripped (e.g. `"line length"`).
+        what: &'static str,
+        /// The observed value.
+        value: usize,
+        /// The configured maximum.
+        limit: usize,
     },
     /// The circuit is empty or otherwise structurally unusable.
     EmptyCircuit,
@@ -64,8 +81,25 @@ impl fmt::Display for NetlistError {
                     "combinational cycle through gate `{witness}` (no register on the loop)"
                 )
             }
-            NetlistError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            NetlistError::Parse { line, col, message } => {
+                write!(f, "parse error at line {line}")?;
+                if *col > 0 {
+                    write!(f, ", col {col}")?;
+                }
+                write!(f, ": {message}")
+            }
+            NetlistError::LimitExceeded {
+                line,
+                what,
+                value,
+                limit,
+            } => {
+                if *line > 0 {
+                    write!(f, "resource limit exceeded at line {line}: ")?;
+                } else {
+                    write!(f, "resource limit exceeded: ")?;
+                }
+                write!(f, "{what} {value} exceeds the maximum of {limit}")
             }
             NetlistError::EmptyCircuit => write!(f, "circuit has no gates"),
             NetlistError::Io(e) => write!(f, "i/o error: {e}"),
@@ -98,9 +132,26 @@ mod tests {
         assert_eq!(e.to_string(), "signal `n42` is used but never defined");
         let e = NetlistError::Parse {
             line: 7,
+            col: 0,
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("line 7"));
+        assert!(!e.to_string().contains("col"));
+        let e = NetlistError::Parse {
+            line: 7,
+            col: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7, col 12"));
+        let e = NetlistError::LimitExceeded {
+            line: 3,
+            what: "fanin count",
+            value: 100,
+            limit: 64,
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
     }
 
     #[test]

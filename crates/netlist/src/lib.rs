@@ -44,6 +44,7 @@ mod delay;
 mod error;
 mod gate;
 pub mod generator;
+pub mod limits;
 pub mod rng;
 pub mod samples;
 pub mod stats;
@@ -53,3 +54,4 @@ pub use circuit::{Circuit, CircuitBuilder};
 pub use delay::DelayModel;
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
+pub use limits::ParseLimits;

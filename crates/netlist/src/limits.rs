@@ -1,0 +1,104 @@
+//! Resource limits for the netlist parsers.
+//!
+//! Hostile or corrupt inputs (a 10 MB single line, a gate with ten
+//! thousand fanins, a file declaring millions of gates) must produce a
+//! structured [`crate::NetlistError::LimitExceeded`] instead of an
+//! allocation blow-up or a shift overflow. Every front end
+//! (`blif`, `bench_format`, `verilog`) offers a `parse_with_limits`
+//! entry point taking a [`ParseLimits`]; the plain `parse` functions
+//! use [`ParseLimits::default`].
+
+/// Caps enforced while parsing a netlist file.
+///
+/// All limits are inclusive: a value *equal* to the limit is accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum length of one physical input line, in bytes.
+    pub max_line_len: usize,
+    /// Maximum number of gates (including inputs, outputs and
+    /// registers) a single file may define.
+    pub max_gates: usize,
+    /// Maximum fanin count of a single gate.
+    pub max_fanin: usize,
+    /// Maximum length of a single signal or module name, in bytes.
+    pub max_name_len: usize,
+}
+
+impl Default for ParseLimits {
+    /// Generous defaults: far above every circuit in the paper's
+    /// benchmark set, far below anything that could exhaust memory.
+    fn default() -> Self {
+        Self {
+            max_line_len: 1 << 20, // 1 MiB
+            max_gates: 1_000_000,
+            max_fanin: 64,
+            max_name_len: 4096,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// Limits that never trip (each cap is `usize::MAX`). For trusted
+    /// machine-generated inputs only.
+    pub fn unlimited() -> Self {
+        Self {
+            max_line_len: usize::MAX,
+            max_gates: usize::MAX,
+            max_fanin: usize::MAX,
+            max_name_len: usize::MAX,
+        }
+    }
+
+    /// Replaces the line-length cap.
+    pub fn with_max_line_len(mut self, n: usize) -> Self {
+        self.max_line_len = n;
+        self
+    }
+
+    /// Replaces the gate-count cap.
+    pub fn with_max_gates(mut self, n: usize) -> Self {
+        self.max_gates = n;
+        self
+    }
+
+    /// Replaces the fanin cap.
+    pub fn with_max_fanin(mut self, n: usize) -> Self {
+        self.max_fanin = n;
+        self
+    }
+
+    /// Replaces the name-length cap.
+    pub fn with_max_name_len(mut self, n: usize) -> Self {
+        self.max_name_len = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous_but_finite() {
+        let l = ParseLimits::default();
+        assert_eq!(l.max_line_len, 1 << 20);
+        assert_eq!(l.max_gates, 1_000_000);
+        assert_eq!(l.max_fanin, 64);
+        assert_eq!(l.max_name_len, 4096);
+    }
+
+    #[test]
+    fn builders_replace_one_field() {
+        let l = ParseLimits::default().with_max_fanin(8).with_max_gates(10);
+        assert_eq!(l.max_fanin, 8);
+        assert_eq!(l.max_gates, 10);
+        assert_eq!(l.max_line_len, ParseLimits::default().max_line_len);
+    }
+
+    #[test]
+    fn unlimited_never_trips() {
+        let l = ParseLimits::unlimited();
+        assert_eq!(l.max_line_len, usize::MAX);
+        assert_eq!(l.max_fanin, usize::MAX);
+    }
+}

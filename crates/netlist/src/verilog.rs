@@ -29,14 +29,16 @@ use std::path::Path;
 use crate::circuit::{Circuit, CircuitBuilder};
 use crate::error::NetlistError;
 use crate::gate::GateKind;
+use crate::limits::ParseLimits;
 
-/// Parses a circuit from structural Verilog text.
+/// Parses a circuit from structural Verilog text with
+/// [`ParseLimits::default`].
 ///
 /// # Errors
 ///
 /// Returns [`NetlistError::Parse`] for syntax errors and unsupported
-/// constructs, plus the structural errors of
-/// [`CircuitBuilder::build`].
+/// constructs, [`NetlistError::LimitExceeded`] when a resource limit
+/// trips, plus the structural errors of [`CircuitBuilder::build`].
 ///
 /// # Examples
 ///
@@ -59,18 +61,51 @@ use crate::gate::GateKind;
 /// # }
 /// ```
 pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    parse_with_limits(text, &ParseLimits::default())
+}
+
+/// Parses a circuit from structural Verilog text under explicit
+/// [`ParseLimits`].
+///
+/// # Errors
+///
+/// As [`parse`]; the limit checks use `limits` instead of the
+/// defaults.
+pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Circuit, NetlistError> {
+    crate::blif::scan_raw_lines(text, limits)?;
     let cleaned = strip_comments(text);
     let mut builder: Option<CircuitBuilder> = None;
     let mut outputs: Vec<String> = Vec::new();
-    let mut inputs: Vec<String> = Vec::new();
-    let mut pending_gates: Vec<(String, GateKind, Vec<String>)> = Vec::new();
-    let mut pending_dffs: Vec<(String, String)> = Vec::new();
+    let mut inputs: Vec<(usize, String)> = Vec::new();
+    let mut pending_gates: Vec<(usize, String, GateKind, Vec<String>)> = Vec::new();
+    let mut pending_dffs: Vec<(usize, String, String)> = Vec::new();
+    let mut gates = 0usize;
+    let bump = |gates: &mut usize, line: usize| -> Result<(), NetlistError> {
+        *gates += 1;
+        if *gates > limits.max_gates {
+            return Err(NetlistError::LimitExceeded {
+                line,
+                what: "gate count",
+                value: *gates,
+                limit: limits.max_gates,
+            });
+        }
+        Ok(())
+    };
     let clock_names = ["clk", "clock", "CLK"];
 
     for (line_no, stmt) in statements(&cleaned) {
         let tokens: Vec<&str> = stmt.split_whitespace().collect();
         if tokens.is_empty() {
             continue;
+        }
+        if let Some(long) = tokens.iter().find(|t| t.len() > limits.max_name_len) {
+            return Err(NetlistError::LimitExceeded {
+                line: line_no,
+                what: "name length",
+                value: long.len(),
+                limit: limits.max_name_len,
+            });
         }
         match tokens[0] {
             "module" => {
@@ -87,11 +122,15 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                     if clock_names.contains(&name.as_str()) {
                         continue; // single implicit clock
                     }
-                    inputs.push(name);
+                    bump(&mut gates, line_no)?;
+                    inputs.push((line_no, name));
                 }
             }
             "output" => {
-                outputs.extend(decl_names(&stmt["output".len()..], line_no)?);
+                for name in decl_names(&stmt["output".len()..], line_no)? {
+                    bump(&mut gates, line_no)?;
+                    outputs.push(name);
+                }
             }
             "wire" => {
                 let _ = decl_names(&stmt["wire".len()..], line_no)?; // names are implicit
@@ -109,7 +148,8 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                     if conns.len() != 2 {
                         return Err(err(line_no, "dff takes exactly (Q, D)"));
                     }
-                    pending_dffs.push((conns[0].clone(), conns[1].clone()));
+                    bump(&mut gates, line_no)?;
+                    pending_dffs.push((line_no, conns[0].clone(), conns[1].clone()));
                 } else {
                     let kind = match lower.as_str() {
                         "and" => GateKind::And,
@@ -127,37 +167,50 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                     if conns.len() < 2 {
                         return Err(err(line_no, "primitive needs an output and inputs"));
                     }
-                    pending_gates.push((conns[0].clone(), kind, conns[1..].to_vec()));
+                    if conns.len() - 1 > limits.max_fanin {
+                        return Err(NetlistError::LimitExceeded {
+                            line: line_no,
+                            what: "fanin count",
+                            value: conns.len() - 1,
+                            limit: limits.max_fanin,
+                        });
+                    }
+                    bump(&mut gates, line_no)?;
+                    pending_gates.push((line_no, conns[0].clone(), kind, conns[1..].to_vec()));
                 }
             }
         }
     }
 
     let mut b = builder.ok_or(NetlistError::EmptyCircuit)?;
-    for name in &inputs {
+    for (line, name) in &inputs {
         b.gate(name, GateKind::Input, &[])
-            .map_err(|e| NetlistError::Parse {
-                line: 0,
-                message: e.to_string(),
-            })?;
+            .map_err(|e| at_line(e, *line))?;
     }
-    for (out, kind, fanins) in &pending_gates {
+    for (line, out, kind, fanins) in &pending_gates {
         let refs: Vec<&str> = fanins.iter().map(String::as_str).collect();
-        b.gate(out, *kind, &refs).map_err(|e| NetlistError::Parse {
-            line: 0,
-            message: e.to_string(),
-        })?;
+        b.gate(out, *kind, &refs).map_err(|e| at_line(e, *line))?;
     }
-    for (q, d) in &pending_dffs {
-        b.dff(q, d).map_err(|e| NetlistError::Parse {
-            line: 0,
-            message: e.to_string(),
-        })?;
+    for (line, q, d) in &pending_dffs {
+        b.dff(q, d).map_err(|e| at_line(e, *line))?;
     }
     for out in &outputs {
         b.output(out)?;
     }
     b.build()
+}
+
+/// Attaches the statement's line number to a builder error that lacks
+/// positional context.
+fn at_line(err: NetlistError, line: usize) -> NetlistError {
+    match err {
+        e @ NetlistError::Parse { .. } | e @ NetlistError::LimitExceeded { .. } => e,
+        other => NetlistError::Parse {
+            line,
+            col: 0,
+            message: other.to_string(),
+        },
+    }
 }
 
 /// Reads and parses a Verilog file.
@@ -402,6 +455,7 @@ fn parse_instance(stmt: &str, line: usize) -> Result<Vec<String>, NetlistError> 
 fn err(line: usize, message: &str) -> NetlistError {
     NetlistError::Parse {
         line,
+        col: 0,
         message: message.to_string(),
     }
 }
@@ -508,6 +562,45 @@ endmodule
             );
             let c = parse(&src).unwrap_or_else(|e| panic!("{cell}: {e}"));
             assert_eq!(c.num_registers(), 1, "{cell}");
+        }
+    }
+
+    #[test]
+    fn limits_reject_hostile_inputs() {
+        let src = "module m (a, y);\n input a; output y;\n and g (y, a, a, a);\nendmodule\n";
+        let err = parse_with_limits(src, &ParseLimits::default().with_max_fanin(2)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetlistError::LimitExceeded {
+                    what: "fanin count",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = parse_with_limits(TINY, &ParseLimits::default().with_max_gates(2)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetlistError::LimitExceeded {
+                    what: "gate count",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn deferred_builder_errors_carry_line_numbers() {
+        // `w` is driven twice; the error surfaces at build time but must
+        // still point at the offending statement's line.
+        let src = "module m (a, y);\n input a;\n output y;\n and g1 (w, a, a);\n or g2 (w, a, a);\n buf g3 (y, w);\nendmodule\n";
+        let err = parse(src).unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert!(line > 0, "line must be known"),
+            other => panic!("expected parse error, got {other}"),
         }
     }
 

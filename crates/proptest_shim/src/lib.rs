@@ -40,8 +40,16 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 48 cases, or the value of the `PROPTEST_CASES` environment
+        /// variable when set to a positive integer (mirroring real
+        /// proptest's env override; CI uses it to run deeper sweeps).
         fn default() -> Self {
-            Self { cases: 48 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.trim().parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(48);
+            Self { cases }
         }
     }
 

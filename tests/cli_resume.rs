@@ -1,0 +1,182 @@
+//! Kill-and-resume integration test for the `retimer` CLI: a solve
+//! interrupted by SIGKILL must leave a valid checkpoint behind, and
+//! `--resume` must carry it to the same final netlist an uninterrupted
+//! run produces.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_retimer")
+}
+
+fn workdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("retimer_resume_{}_{}", std::process::id(), tag));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// The shared argument tail: one method (one checkpoint file), small
+/// simulation so the solve dominates, no equivalence check.
+fn solve_args(input: &std::path::Path, out: &std::path::Path) -> Vec<String> {
+    [
+        input.to_str().unwrap(),
+        "--method",
+        "minobswin",
+        "--out",
+        out.to_str().unwrap(),
+        "--vectors",
+        "64",
+        "--frames",
+        "4",
+        "--no-equiv",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn killed_solve_resumes_to_the_uninterrupted_result() {
+    let dir = workdir("kill");
+    let input = dir.join("resume_demo.bench");
+    let circuit = netlist::generator::GeneratorConfig::new("resume_demo", 97)
+        .gates(600)
+        .registers(90)
+        .build();
+    netlist::bench_format::write_file(&circuit, &input).expect("write input");
+
+    // Uninterrupted baseline.
+    let base_out = dir.join("baseline.bench");
+    let status = Command::new(bin())
+        .args(solve_args(&input, &base_out))
+        .output()
+        .expect("run retimer");
+    assert!(
+        status.status.success(),
+        "baseline failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&status.stdout),
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let baseline = std::fs::read_to_string(&base_out).expect("baseline output");
+
+    // Checkpointed run, SIGKILLed as soon as the checkpoint file
+    // appears. `minobswin::experiment::checkpoint_path`: the prefix
+    // becomes `<prefix>.minobswin.ckpt`.
+    let prefix = dir.join("state");
+    let ckpt = dir.join("state.minobswin.ckpt");
+    let killed_out = dir.join("killed.bench");
+    let mut child = Command::new(bin())
+        .args(solve_args(&input, &killed_out))
+        .args(["--checkpoint", prefix.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn retimer");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if ckpt.exists() {
+            // Mid-solve with high probability; if the child already
+            // finished, the checkpoint is terminal and the resume
+            // below simply returns the identical result instantly —
+            // the test stays sound either way.
+            child.kill().ok();
+            break;
+        }
+        if let Some(code) = child.try_wait().expect("poll child") {
+            panic!("child exited ({code}) before writing a checkpoint");
+        }
+        if Instant::now() > deadline {
+            child.kill().ok();
+            panic!("no checkpoint appeared within the deadline");
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    child.wait().expect("reap child");
+    assert!(ckpt.exists(), "checkpoint must survive the kill");
+
+    // Resume from the orphaned checkpoint and run to completion.
+    let resumed_out = dir.join("resumed.bench");
+    let status = Command::new(bin())
+        .args(solve_args(&input, &resumed_out))
+        .args(["--checkpoint", prefix.to_str().unwrap(), "--resume"])
+        .output()
+        .expect("run retimer --resume");
+    assert!(
+        status.status.success(),
+        "resume failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&status.stdout),
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let resumed = std::fs::read_to_string(&resumed_out).expect("resumed output");
+    assert_eq!(
+        resumed, baseline,
+        "resumed solve must produce the uninterrupted netlist"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_a_checkpoint_from_another_instance() {
+    let dir = workdir("foreign");
+    let a = dir.join("a.bench");
+    let b = dir.join("b.bench");
+    netlist::bench_format::write_file(
+        &netlist::generator::GeneratorConfig::new("a", 1)
+            .gates(80)
+            .registers(12)
+            .build(),
+        &a,
+    )
+    .expect("write a");
+    netlist::bench_format::write_file(
+        &netlist::generator::GeneratorConfig::new("b", 2)
+            .gates(90)
+            .registers(14)
+            .build(),
+        &b,
+    )
+    .expect("write b");
+
+    let prefix = dir.join("state");
+    let common = [
+        "--vectors",
+        "64",
+        "--frames",
+        "4",
+        "--no-equiv",
+        "--method",
+        "minobswin",
+    ];
+    let status = Command::new(bin())
+        .arg(a.to_str().unwrap())
+        .args(common)
+        .args(["--checkpoint", prefix.to_str().unwrap()])
+        .output()
+        .expect("run retimer on a");
+    assert!(status.status.success());
+
+    // Resuming circuit B from A's checkpoint must fail cleanly with
+    // the checkpoint exit code (2), not a panic or a silent restart.
+    let out = Command::new(bin())
+        .arg(b.to_str().unwrap())
+        .args(common)
+        .args(["--checkpoint", prefix.to_str().unwrap(), "--resume"])
+        .output()
+        .expect("run retimer on b");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("digest"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -203,6 +203,97 @@ fn retimer_exits_two_on_usage_error() {
 }
 
 #[test]
+fn retimer_exits_four_when_the_iteration_budget_expires() {
+    // 4 = budget exceeded: a degraded-but-feasible retiming was still
+    // emitted. One iteration is never enough to reach local optimality
+    // on this instance, so the stop is deterministic.
+    let dir = workdir("budget_iters");
+    let input = dir.join("budget.bench");
+    let output = dir.join("budget_out.bench");
+    let circuit = netlist::generator::GeneratorConfig::new("budget", 53)
+        .gates(200)
+        .registers(30)
+        .build();
+    netlist::bench_format::write_file(&circuit, &input).expect("write input");
+
+    let out = Command::new(bin())
+        .args([
+            "solve", // the explicit subcommand alias
+            input.to_str().unwrap(),
+            "--method",
+            "minobswin",
+            "--out",
+            output.to_str().unwrap(),
+            "--max-iters",
+            "1",
+            "--vectors",
+            "64",
+            "--frames",
+            "4",
+            "--no-equiv",
+        ])
+        .output()
+        .expect("run retimer");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("budget exceeded"), "{stderr}");
+    // The degraded retiming is still a valid netlist.
+    let rebuilt = netlist::bench_format::read_file(&output).expect("re-read degraded output");
+    assert!(rebuilt.num_registers() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retimer_exits_four_when_the_time_budget_expires() {
+    let dir = workdir("budget_time");
+    let input = dir.join("budget_t.bench");
+    let circuit = netlist::samples::pipeline(9, 3);
+    netlist::bench_format::write_file(&circuit, &input).expect("write input");
+
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--time-budget",
+            "0",
+            "--vectors",
+            "64",
+            "--frames",
+            "4",
+            "--no-equiv",
+        ])
+        .output()
+        .expect("run retimer");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retimer_rejects_resume_without_checkpoint() {
+    let out = Command::new(bin())
+        .args(["input.bench", "--resume"])
+        .output()
+        .expect("run retimer");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--checkpoint"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn retimer_exits_two_on_missing_input_file() {
     // 2 = I/O error: a well-formed invocation pointing at a file that
     // does not exist.

@@ -1,0 +1,230 @@
+//! Adversarial parser tests: every input in `tests/corpus/` and every
+//! fuzz-generated input must produce a structured `Err` (or, for the
+//! random generators, possibly an `Ok`) — never a panic, hang, or
+//! allocation blow-up. Run with `PROPTEST_CASES=2048` in CI's
+//! `robustness` job for a deeper sweep.
+
+use std::fs;
+use std::path::PathBuf;
+
+use netlist::rng::Xoshiro256;
+use netlist::{bench_format, blif, verilog, NetlistError, ParseLimits};
+use proptest::prelude::*;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn read_corpus(name: &str) -> String {
+    let path = corpus_dir().join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("corpus file {}: {e}", path.display()))
+}
+
+/// Parses `text` with the front end matching the corpus file extension.
+fn parse_any(name: &str, text: &str) -> Result<netlist::Circuit, NetlistError> {
+    if name.ends_with(".bench") {
+        bench_format::parse(text, "corpus")
+    } else if name.ends_with(".v") {
+        verilog::parse(text)
+    } else {
+        blif::parse(text)
+    }
+}
+
+#[test]
+fn corpus_files_error_cleanly() {
+    let files = [
+        "truncated.blif",
+        "cyclic_latch.blif",
+        "nul_bytes.blif",
+        "dup_gates.blif",
+        "wide_fanin.blif",
+        "dup_gates.bench",
+        "garbage.bench",
+    ];
+    for name in files {
+        let text = read_corpus(name);
+        let result = parse_any(name, &text);
+        let err = result.err().unwrap_or_else(|| {
+            panic!("{name}: adversarial corpus input unexpectedly parsed");
+        });
+        // Every error must render a message without panicking.
+        assert!(!err.to_string().is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn corpus_covers_every_designed_failure_mode() {
+    let text = read_corpus("nul_bytes.blif");
+    match blif::parse(&text) {
+        Err(NetlistError::Parse { line, col, .. }) => {
+            assert_eq!(line, 2);
+            assert!(col > 0, "NUL rejection must carry a column");
+        }
+        other => panic!("expected a parse error with position, got {other:?}"),
+    }
+    let text = read_corpus("wide_fanin.blif");
+    match blif::parse(&text) {
+        Err(NetlistError::LimitExceeded {
+            what: "fanin count",
+            value: 100,
+            ..
+        }) => {}
+        other => panic!("expected a fanin limit error, got {other:?}"),
+    }
+    // The same file passes with the limit lifted.
+    blif::parse_with_limits(&text, &ParseLimits::unlimited())
+        .expect("100-input AND is structurally valid");
+    let text = read_corpus("cyclic_latch.blif");
+    match blif::parse(&text) {
+        Err(NetlistError::CombinationalCycle { .. }) => {}
+        other => panic!("expected a combinational-cycle error, got {other:?}"),
+    }
+    let text = read_corpus("dup_gates.blif");
+    let err = blif::parse(&text).unwrap_err();
+    assert!(err.to_string().contains("driven more than once"), "{err}");
+}
+
+#[test]
+fn ten_megabyte_single_line_is_rejected_quickly() {
+    // Generated here rather than committed: 10 MB of 'a' on one line.
+    let mut text = String::with_capacity(10_000_100);
+    text.push_str(".model big\n.inputs ");
+    text.push_str(&"a".repeat(10_000_000));
+    text.push('\n');
+    match blif::parse(&text) {
+        Err(NetlistError::LimitExceeded {
+            what: "line length",
+            ..
+        }) => {}
+        other => panic!("expected a line-length limit error, got {other:?}"),
+    }
+    match bench_format::parse(&text, "big") {
+        Err(NetlistError::LimitExceeded {
+            what: "line length",
+            ..
+        }) => {}
+        other => panic!("expected a line-length limit error, got {other:?}"),
+    }
+    match verilog::parse(&text) {
+        Err(NetlistError::LimitExceeded {
+            what: "line length",
+            ..
+        }) => {}
+        other => panic!("expected a line-length limit error, got {other:?}"),
+    }
+}
+
+/// Random byte soup, lossily decoded: parsing must terminate with
+/// `Ok` or `Err`, never panic.
+fn byte_soup(seed: u64, len: usize) -> String {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(256) as u8).collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Random text over the BLIF/bench token alphabet — far likelier to
+/// reach deep parser states than raw bytes.
+fn token_soup(seed: u64, tokens: usize) -> String {
+    const VOCAB: &[&str] = &[
+        ".model",
+        ".inputs",
+        ".outputs",
+        ".names",
+        ".latch",
+        ".end",
+        ".exdc",
+        "\n",
+        "\n",
+        "\n",
+        "a",
+        "b",
+        "y",
+        "q",
+        "x",
+        "0",
+        "1",
+        "-",
+        "11",
+        "0-",
+        "1 1",
+        "\\",
+        "#",
+        "=",
+        "(",
+        ")",
+        ",",
+        "INPUT(a)",
+        "OUTPUT(y)",
+        "DFF",
+        "AND",
+        "NOT",
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "wire",
+        "dff",
+        "and",
+        ";",
+    ];
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut out = String::new();
+    for _ in 0..tokens {
+        out.push_str(VOCAB[rng.gen_range(VOCAB.len())]);
+        out.push(' ');
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn blif_never_panics_on_byte_soup(seed in 0u64..1_000_000, len in 0usize..4096) {
+        let text = byte_soup(seed, len);
+        let _ = blif::parse(&text);
+    }
+
+    #[test]
+    fn bench_never_panics_on_byte_soup(seed in 0u64..1_000_000, len in 0usize..4096) {
+        let text = byte_soup(seed, len);
+        let _ = bench_format::parse(&text, "fuzz");
+    }
+
+    #[test]
+    fn verilog_never_panics_on_byte_soup(seed in 0u64..1_000_000, len in 0usize..4096) {
+        let text = byte_soup(seed, len);
+        let _ = verilog::parse(&text);
+    }
+
+    #[test]
+    fn blif_never_panics_on_token_soup(seed in 0u64..1_000_000, tokens in 0usize..512) {
+        let text = token_soup(seed, tokens);
+        let _ = blif::parse(&text);
+    }
+
+    #[test]
+    fn bench_never_panics_on_token_soup(seed in 0u64..1_000_000, tokens in 0usize..512) {
+        let text = token_soup(seed, tokens);
+        let _ = bench_format::parse(&text, "fuzz");
+    }
+
+    #[test]
+    fn verilog_never_panics_on_token_soup(seed in 0u64..1_000_000, tokens in 0usize..512) {
+        let text = token_soup(seed, tokens);
+        let _ = verilog::parse(&text);
+    }
+
+    /// Tight limits never panic either, whatever the input.
+    #[test]
+    fn tight_limits_never_panic(seed in 0u64..1_000_000, tokens in 0usize..256) {
+        let text = token_soup(seed, tokens);
+        let limits = ParseLimits::default()
+            .with_max_fanin(2)
+            .with_max_gates(8)
+            .with_max_name_len(4)
+            .with_max_line_len(64);
+        let _ = blif::parse_with_limits(&text, &limits);
+        let _ = bench_format::parse_with_limits(&text, "fuzz", &limits);
+        let _ = verilog::parse_with_limits(&text, &limits);
+    }
+}

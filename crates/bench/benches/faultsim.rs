@@ -22,6 +22,7 @@ fn bench_config() -> SerConfig {
             frames: 8,
             warmup: 8,
             seed: 1,
+            threads: 1,
         },
         ..SerConfig::with_phi(200)
     }

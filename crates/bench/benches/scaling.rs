@@ -21,6 +21,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             frames: 8,
             warmup: 6,
             seed: 9,
+            threads: 1,
         });
         group.bench_with_input(BenchmarkId::from_parameter(gates), &circuit, |b, ckt| {
             b.iter(|| Experiment::new(ckt).config(config.clone()).run().unwrap())

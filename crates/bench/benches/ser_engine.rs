@@ -1,10 +1,12 @@
 //! SER analysis engine throughput: simulation, ODC observabilities and
-//! the full eq. (4) analysis.
+//! the full eq. (4) analysis, including the scalar-vs-arena data-plane
+//! comparison behind `BENCH_ser.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netlist::generator::GeneratorConfig;
 use netlist::Circuit;
 use ser_engine::odc::Observability;
+use ser_engine::scalar::{self, ScalarTrace};
 use ser_engine::sim::{FrameTrace, SimConfig};
 use ser_engine::{analyze, SerConfig};
 
@@ -15,17 +17,22 @@ fn circuit_of(gates: usize) -> Circuit {
         .build()
 }
 
+fn sim_config(threads: usize) -> SimConfig {
+    SimConfig {
+        num_vectors: 1024,
+        frames: 15,
+        warmup: 8,
+        seed: 1,
+        threads,
+    }
+}
+
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("frame_simulation");
     group.sample_size(10);
     for gates in [400usize, 1200] {
         let circuit = circuit_of(gates);
-        let config = SimConfig {
-            num_vectors: 1024,
-            frames: 15,
-            warmup: 8,
-            seed: 1,
-        };
+        let config = sim_config(1);
         group.bench_with_input(BenchmarkId::from_parameter(gates), &circuit, |b, ckt| {
             b.iter(|| FrameTrace::simulate(ckt, config))
         });
@@ -38,12 +45,7 @@ fn bench_observability(c: &mut Criterion) {
     group.sample_size(10);
     for gates in [400usize, 1200] {
         let circuit = circuit_of(gates);
-        let config = SimConfig {
-            num_vectors: 1024,
-            frames: 15,
-            warmup: 8,
-            seed: 1,
-        };
+        let config = sim_config(1);
         let trace = FrameTrace::simulate(&circuit, config);
         group.bench_with_input(
             BenchmarkId::from_parameter(gates),
@@ -51,6 +53,34 @@ fn bench_observability(c: &mut Criterion) {
             |b, (ckt, tr)| b.iter(|| Observability::compute(ckt, tr)),
         );
     }
+    group.finish();
+}
+
+/// The scalar-vs-arena data-plane comparison (simulation + ODC end to
+/// end), the criterion twin of `retimer bench-ser`.
+fn bench_data_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ser_data_plane");
+    group.sample_size(10);
+    let gates = 800usize;
+    let circuit = circuit_of(gates);
+    group.bench_function(BenchmarkId::new("scalar", gates), |b| {
+        b.iter(|| {
+            let trace = ScalarTrace::simulate(&circuit, sim_config(1));
+            scalar::observability(&circuit, &trace)
+        })
+    });
+    group.bench_function(BenchmarkId::new("arena_1_thread", gates), |b| {
+        b.iter(|| {
+            let trace = FrameTrace::simulate(&circuit, sim_config(1));
+            Observability::compute(&circuit, &trace)
+        })
+    });
+    group.bench_function(BenchmarkId::new("arena_pooled", gates), |b| {
+        b.iter(|| {
+            let trace = FrameTrace::simulate(&circuit, sim_config(0));
+            Observability::compute(&circuit, &trace)
+        })
+    });
     group.finish();
 }
 
@@ -65,6 +95,7 @@ fn bench_full_analysis(c: &mut Criterion) {
             frames: 10,
             warmup: 8,
             seed: 1,
+            threads: 1,
         },
         ..SerConfig::with_phi(200)
     };
@@ -78,6 +109,7 @@ criterion_group!(
     benches,
     bench_simulation,
     bench_observability,
+    bench_data_plane,
     bench_full_analysis
 );
 criterion_main!(benches);

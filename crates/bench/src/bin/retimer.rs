@@ -12,6 +12,8 @@
 //!   --report FILE.csv                append a CSV result row
 //!   --vectors K  --frames N          simulation size (default 1024 / 15)
 //!   --seed S                         stimulus seed
+//!   --threads T                      simulation worker threads (default 0 =
+//!                                    SER_THREADS env, else all cores)
 //!   --r-min R                        override the §V-derived R_min bound
 //!                                    (an over-tight bound exits 1: infeasible)
 //!   --no-equiv                       skip the bounded equivalence check
@@ -36,7 +38,7 @@
 //!   --campaign-seed S                injection sampling seed
 //!   --pulse-width F                  transient width in delay units
 //!   --tolerance F                    relative CI widening (default 0.05)
-//!   --vectors K  --frames N  --seed S   as above
+//!   --vectors K  --frames N  --seed S  --threads T   as above
 //!
 //! retimer bench-solve [options]
 //!
@@ -50,6 +52,20 @@
 //!   --samples-only                   skip the generated circuits
 //!   --time-budget SECS               wall-clock budget per solver run
 //!   --max-iters N                    iteration budget per solver run
+//!
+//! retimer bench-ser [options]
+//!
+//!   Benchmarks the SER simulation data plane: the legacy per-signature
+//!   scalar engine vs. the flat arena engine (single-threaded) vs. the
+//!   arena engine with a worker pool, over sample and generated
+//!   circuits, writing timings and allocation counts as JSON.
+//!
+//!   --out FILE                       output path (default BENCH_ser.json)
+//!   --gates N,N,...                  generated circuit sizes (default 400,1500)
+//!   --samples-only                   skip the generated circuits
+//!   --vectors K  --frames N          simulation size (default 1024 / 15)
+//!   --threads T                      threaded column's pool size (default 0 =
+//!                                    SER_THREADS env, else all cores)
 //! ```
 //!
 //! Exit codes are stable: 0 = success, 1 = infeasible instance,
@@ -134,6 +150,7 @@ fn main() -> ExitCode {
     let result = match subcommand.as_deref() {
         Some("fault-sim") => run_fault_sim(),
         Some("bench-solve") => run_bench_solve(),
+        Some("bench-ser") => run_bench_ser(),
         Some("solve") => run(true),
         _ => run(false),
     };
@@ -154,6 +171,7 @@ struct Options {
     vectors: usize,
     frames: usize,
     seed: u64,
+    threads: usize,
     r_min: Option<i64>,
     equiv: bool,
     time_budget: Option<f64>,
@@ -172,6 +190,7 @@ fn parse_args(skip_subcommand: bool) -> Result<Options, String> {
         vectors: 1024,
         frames: 15,
         seed: 0xC0FFEE,
+        threads: 0,
         r_min: None,
         equiv: true,
         time_budget: None,
@@ -201,6 +220,12 @@ fn parse_args(skip_subcommand: bool) -> Result<Options, String> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed needs an integer")?
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a non-negative integer")?
             }
             "--r-min" => {
                 options.r_min = Some(
@@ -236,8 +261,8 @@ fn parse_args(skip_subcommand: bool) -> Result<Options, String> {
                     "usage: retimer [solve] INPUT[.bench|.blif|.v] \
                      [--method minobs|minobswin|both] \
                      [--out FILE] [--report FILE.csv] [--vectors K] [--frames N] \
-                     [--seed S] [--r-min R] [--no-equiv] [--time-budget SECS] \
-                     [--max-iters N] [--checkpoint PATH] [--resume]"
+                     [--seed S] [--threads T] [--r-min R] [--no-equiv] \
+                     [--time-budget SECS] [--max-iters N] [--checkpoint PATH] [--resume]"
                 );
                 std::process::exit(0);
             }
@@ -299,6 +324,7 @@ fn run(skip_subcommand: bool) -> Result<u8, CliError> {
             frames: options.frames,
             warmup: 16,
             seed: options.seed,
+            threads: options.threads,
         })
         .with_r_min_override(options.r_min)
         .with_budget(budget)
@@ -401,6 +427,7 @@ struct FaultSimOptions {
     vectors: usize,
     frames: usize,
     seed: u64,
+    threads: usize,
 }
 
 fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
@@ -416,6 +443,7 @@ fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
         vectors: 1024,
         frames: 15,
         seed: 0xC0FFEE,
+        threads: 0,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -468,11 +496,18 @@ fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed needs an integer")?
             }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a non-negative integer")?
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: retimer fault-sim INPUT[.bench|.blif|.v] [--injections N] \
                      [--workers W] [--method minobs|minobswin] [--campaign-seed S] \
-                     [--pulse-width F] [--tolerance F] [--vectors K] [--frames N] [--seed S]"
+                     [--pulse-width F] [--tolerance F] [--vectors K] [--frames N] \
+                     [--seed S] [--threads T]"
                 );
                 std::process::exit(0);
             }
@@ -504,6 +539,7 @@ fn run_fault_sim() -> Result<u8, CliError> {
         frames: options.frames,
         warmup: 16,
         seed: options.seed,
+        threads: options.threads,
     });
     let run = Experiment::new(&circuit).config(config.clone()).run()?;
     let ser_config = SerConfig {
@@ -677,6 +713,114 @@ fn run_bench_solve() -> Result<u8, CliError> {
         eprintln!("budget exceeded: some runs were truncated (exit 4)");
         return Ok(EXIT_DEGRADED);
     }
+    Ok(0)
+}
+
+struct BenchSerOptions {
+    out: String,
+    gates: Vec<usize>,
+    samples_only: bool,
+    vectors: usize,
+    frames: usize,
+    threads: usize,
+}
+
+fn parse_bench_ser_args() -> Result<BenchSerOptions, String> {
+    let mut args = std::env::args().skip(2); // binary name + "bench-ser"
+    let mut options = BenchSerOptions {
+        out: "BENCH_ser.json".into(),
+        gates: vec![400, 1500],
+        samples_only: false,
+        vectors: 1024,
+        frames: 15,
+        threads: 0,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => options.out = args.next().ok_or("--out needs a path")?,
+            "--gates" => {
+                let list = args.next().ok_or("--gates needs a comma-separated list")?;
+                options.gates = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("invalid --gates list `{list}`"))?;
+            }
+            "--samples-only" => options.samples_only = true,
+            "--vectors" => {
+                options.vectors = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--vectors needs a positive integer")?
+            }
+            "--frames" => {
+                options.frames = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--frames needs a positive integer")?
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a non-negative integer")?
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: retimer bench-ser [--out FILE] [--gates N,N,...] [--samples-only] \
+                     [--vectors K] [--frames N] [--threads T]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// Benchmarks the SER data plane — scalar per-signature engine vs. flat
+/// arena engine vs. arena + worker pool — and writes the timings as
+/// JSON (`BENCH_ser.json`).
+fn run_bench_ser() -> Result<u8, CliError> {
+    use bench_harness::ser_bench;
+
+    let options = parse_bench_ser_args()?;
+    let mut instances = ser_bench::sample_instances();
+    if !options.samples_only {
+        for &gates in &options.gates {
+            instances.push(ser_bench::generated_instance(gates));
+        }
+    }
+    let config = ser_bench::BenchSerConfig {
+        num_vectors: options.vectors,
+        frames: options.frames,
+        threads: options.threads,
+        ..ser_bench::BenchSerConfig::default()
+    };
+
+    let mut records = Vec::new();
+    for instance in &instances {
+        let record = ser_bench::measure(instance, &config);
+        println!(
+            "{:<16} |V| {:>6} gates  scalar {:>9.3} ms ({:>6} allocs), arena {:>9.3} ms \
+             ({:>5} allocs, {:>5.2}x, {:>6.2} ns/g·f·v), arena+{} threads {:>9.3} ms ({:>5.2}x)",
+            record.name,
+            record.gates,
+            record.scalar_nanos as f64 / 1e6,
+            record.scalar_allocs,
+            record.arena_nanos as f64 / 1e6,
+            record.arena_allocs,
+            record.arena_speedup(),
+            record.arena_nanos_per_gfv(),
+            record.threads,
+            record.threaded_nanos as f64 / 1e6,
+            record.threaded_speedup(),
+        );
+        records.push(record);
+    }
+
+    std::fs::write(&options.out, ser_bench::to_json(&records))?;
+    println!("wrote {}", options.out);
     Ok(0)
 }
 

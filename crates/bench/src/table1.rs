@@ -2,7 +2,8 @@
 //! MinObsWin results, and the paper's summary averages.
 
 use minobswin::experiment::{CircuitRun, Experiment, RunConfig};
-use netlist::generator::{table1_twin, TABLE1_ROWS};
+use netlist::generator::{table1_twin, Table1Row as PaperRow, TABLE1_ROWS};
+use netlist::parallel;
 use ser_engine::sim::SimConfig;
 
 /// Options of a Table I reproduction run.
@@ -20,6 +21,12 @@ pub struct Table1Options {
     pub num_vectors: usize,
     /// Time frames `n` (paper: 15).
     pub frames: usize,
+    /// Worker pool for running circuits in parallel (0 = resolve via
+    /// `SER_THREADS` / hardware, like every other entry point). With
+    /// more than one pool worker each row's own simulation runs
+    /// single-threaded to avoid oversubscription; with one pool worker
+    /// the per-row simulation inherits the requested thread count.
+    pub threads: usize,
 }
 
 impl Default for Table1Options {
@@ -30,6 +37,7 @@ impl Default for Table1Options {
             filter: None,
             num_vectors: 1024,
             frames: 15,
+            threads: 0,
         }
     }
 }
@@ -43,6 +51,7 @@ impl Table1Options {
             filter: None,
             num_vectors: 256,
             frames: 6,
+            threads: 0,
         }
     }
 }
@@ -56,37 +65,65 @@ pub struct Table1Row {
     pub run: CircuitRun,
 }
 
-/// Runs the reproduction over the (filtered, scaled) benchmark suite.
+/// Runs the reproduction over the (filtered, scaled) benchmark suite,
+/// fanning the circuits across a worker pool (see
+/// [`Table1Options::threads`]). Row order is deterministic — results
+/// land by row index, independent of thread scheduling.
 ///
 /// Circuits that fail (e.g. an infeasible initialization on an extreme
 /// configuration) are skipped with a message on stderr, mirroring how
 /// benchmark suites tolerate individual failures.
 pub fn run_table1(options: &Table1Options) -> Vec<Table1Row> {
-    let mut rows = Vec::new();
-    for paper_row in TABLE1_ROWS.iter() {
-        if let Some(f) = &options.filter {
-            if !paper_row.name.contains(f.as_str()) {
-                continue;
-            }
+    let items: Vec<&PaperRow> = TABLE1_ROWS
+        .iter()
+        .filter(|paper_row| match &options.filter {
+            Some(f) => paper_row.name.contains(f.as_str()),
+            None => true,
+        })
+        .collect();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let pool = parallel::resolve_workers_for(options.threads, items.len());
+    let sim_threads = if pool > 1 { 1 } else { options.threads };
+    let mut slots: Vec<Option<Table1Row>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(pool);
+    let items = &items;
+    std::thread::scope(|scope| {
+        for (ci, out) in slots.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = run_row(items[ci * chunk + k], options, sim_threads);
+                }
+            });
         }
-        let giant = paper_row.v > 60_000;
-        let scale = options.scale * if giant { options.giant_extra_scale } else { 1 };
-        let circuit = table1_twin(paper_row, scale);
-        let config = RunConfig::default().with_sim(SimConfig {
-            num_vectors: options.num_vectors,
-            frames: options.frames,
-            warmup: 8,
-            seed: 0xC0FFEE,
-        });
-        match Experiment::new(&circuit).config(config).run() {
-            Ok(run) => rows.push(Table1Row {
-                paper_name: paper_row.name,
-                run,
-            }),
-            Err(e) => eprintln!("skipping {}: {e}", paper_row.name),
+    });
+    slots.into_iter().flatten().collect()
+}
+
+/// Runs one benchmark circuit; `None` when it fails.
+fn run_row(paper_row: &PaperRow, options: &Table1Options, sim_threads: usize) -> Option<Table1Row> {
+    let giant = paper_row.v > 60_000;
+    let scale = options.scale * if giant { options.giant_extra_scale } else { 1 };
+    let circuit = table1_twin(paper_row, scale);
+    let config = RunConfig::default().with_sim(SimConfig {
+        num_vectors: options.num_vectors,
+        frames: options.frames,
+        warmup: 8,
+        seed: 0xC0FFEE,
+        threads: sim_threads,
+    });
+    match Experiment::new(&circuit).config(config).run() {
+        Ok(run) => Some(Table1Row {
+            paper_name: paper_row.name,
+            run,
+        }),
+        Err(e) => {
+            eprintln!("skipping {}: {e}", paper_row.name);
+            None
         }
     }
-    rows
 }
 
 /// The averages the paper reports in its last row.

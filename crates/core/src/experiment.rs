@@ -16,7 +16,9 @@ use crate::algorithm::{SolverConfig, SolverStats};
 use crate::init::InitConfig;
 use crate::problem::Problem;
 use crate::session::SolverSession;
-use crate::supervisor::{Checkpoint, FileCheckpointSink, SolveBudget, Supervision};
+use crate::supervisor::{
+    BreakerTrip, Checkpoint, FileCheckpointSink, SolveBudget, Supervision, TripCause,
+};
 use crate::SolveError;
 
 /// Configuration of a full experiment run.
@@ -259,12 +261,24 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
     let original_report = analyze(circuit, &ser_config)?;
     let ff = circuit.num_registers();
 
+    // Any SER engine breaker trip (sampled audit caught the parallel
+    // engine diverging; results came from the scalar fallback) is
+    // surfaced on each method's degradation report.
+    let sim_engine = observability.engine().merged(original_report.engine);
     let evaluate = |retiming: &Retiming,
                     seconds: f64,
-                    stats: SolverStats|
+                    mut stats: SolverStats|
      -> Result<MethodResult, SolveError> {
         let rebuilt = apply_retiming(circuit, &graph, retiming)?;
         let report = analyze(&rebuilt, &ser_config)?;
+        let engine = sim_engine.merged(report.engine);
+        if !engine.is_clean() {
+            stats.degradation.ser_trip = Some(BreakerTrip {
+                iteration: 0,
+                cause: TripCause::Divergence,
+            });
+            stats.perf.breaker_trips += engine.trips;
+        }
         Ok(MethodResult {
             retiming: retiming.clone(),
             registers: rebuilt.num_registers(),

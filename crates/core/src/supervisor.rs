@@ -206,6 +206,10 @@ pub struct DegradationReport {
     pub closure_trip: Option<BreakerTrip>,
     /// The incremental checker's breaker (fallback: full recomputes).
     pub checker_trip: Option<BreakerTrip>,
+    /// The parallel SER engine's sampled-audit breaker (fallback: the
+    /// scalar simulation/ODC engine). `iteration` is 0: the trip
+    /// happens during simulation, before the solve loop starts.
+    pub ser_trip: Option<BreakerTrip>,
     /// Set when a budget stopped the solve early.
     pub budget_stop: Option<StopReason>,
     /// The final verification gate found the result infeasible and the
@@ -223,6 +227,7 @@ impl DegradationReport {
     pub fn is_clean(&self) -> bool {
         self.closure_trip.is_none()
             && self.checker_trip.is_none()
+            && self.ser_trip.is_none()
             && self.budget_stop.is_none()
             && !self.full_restart
             && self.checkpoint_write_failures == 0
@@ -249,6 +254,10 @@ impl fmt::Display for DegradationReport {
                 "{sep}checker breaker tripped ({}, iter {})",
                 t.cause, t.iteration
             )?;
+            sep = "; ";
+        }
+        if let Some(t) = self.ser_trip {
+            write!(f, "{sep}SER engine breaker tripped ({})", t.cause)?;
             sep = "; ";
         }
         if self.full_restart {
@@ -1152,6 +1161,15 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("closure breaker"));
         assert!(text.contains("wall-time"));
+        let ser = DegradationReport {
+            ser_trip: Some(BreakerTrip {
+                iteration: 0,
+                cause: TripCause::Divergence,
+            }),
+            ..DegradationReport::default()
+        };
+        assert!(!ser.is_clean());
+        assert!(ser.to_string().contains("SER engine breaker"));
     }
 
     #[test]

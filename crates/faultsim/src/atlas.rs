@@ -124,7 +124,7 @@ impl FaultAtlas {
 
         // Per-node faulty resimulations, fanned out across workers.
         // Each node is independent, so any split is bit-identical.
-        let worker_count = effective_workers(workers, node_ids.len());
+        let worker_count = netlist::parallel::resolve_workers_for(workers, node_ids.len());
         let mut tables: Vec<NodeTables> = Vec::with_capacity(node_ids.len());
         if worker_count <= 1 || node_ids.len() <= 1 {
             for &node in &node_ids {
@@ -253,14 +253,6 @@ impl FaultAtlas {
     }
 }
 
-fn effective_workers(requested: usize, work_items: usize) -> usize {
-    let hardware = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let w = if requested == 0 { hardware } else { requested };
-    w.clamp(1, work_items.max(1))
-}
-
 /// Resimulates the `n`-frame window with `victim`'s output flipped in
 /// frame 0, for all `K` vectors at once, and records what reaches the
 /// observation points.
@@ -278,7 +270,7 @@ fn resimulate_node(circuit: &Circuit, trace: &FrameTrace, victim: GateId) -> Nod
 
     let mut po_detect = Signature::zeros(bits);
     let mut faulty: Vec<Signature> = (0..n)
-        .map(|i| trace.value(0, GateId::new(i)).clone())
+        .map(|i| trace.value(0, GateId::new(i)).to_signature())
         .collect();
     // The flip must survive for non-reevaluated nodes (primary inputs).
     faulty[victim.index()] = faulty[victim.index()].not();
@@ -290,7 +282,7 @@ fn resimulate_node(circuit: &Circuit, trace: &FrameTrace, victim: GateId) -> Nod
             // values; everything else restarts from the nominal trace.
             let prev = faulty.clone();
             for (i, _) in circuit.iter() {
-                faulty[i.index()] = trace.value(f, i).clone();
+                faulty[i.index()] = trace.value(f, i).to_signature();
             }
             for &q in circuit.registers() {
                 let d = circuit.gate(q).fanins()[0];
@@ -311,7 +303,7 @@ fn resimulate_node(circuit: &Circuit, trace: &FrameTrace, victim: GateId) -> Nod
             faulty[g.index()] = value;
         }
         for &po in circuit.outputs() {
-            po_detect.or_assign(&faulty[po.index()].xor(trace.value(f, po)));
+            po_detect.or_assign(&faulty[po.index()].xor(&trace.value(f, po).to_signature()));
         }
         if f == frames - 1 {
             reg_corrupt = circuit
@@ -319,7 +311,7 @@ fn resimulate_node(circuit: &Circuit, trace: &FrameTrace, victim: GateId) -> Nod
                 .iter()
                 .map(|&q| {
                     let d = circuit.gate(q).fanins()[0];
-                    faulty[d.index()].xor(trace.value(f, d))
+                    faulty[d.index()].xor(&trace.value(f, d).to_signature())
                 })
                 .collect();
         }

@@ -387,12 +387,12 @@ pub fn run_campaign(
     Ok(run_campaign_on(&atlas, circuit.name(), config))
 }
 
+/// Resolves the worker count through the suite-wide policy
+/// ([`netlist::parallel`]: flag > `SER_THREADS` > hardware), capped at
+/// 64 workers — beyond that the per-worker injection shares get too
+/// small to amortize thread startup.
 fn effective_workers(requested: usize, injections: u64) -> usize {
-    let hardware = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let w = if requested == 0 { hardware } else { requested };
-    w.clamp(1, injections.clamp(1, 64) as usize)
+    netlist::parallel::resolve_workers_for(requested, injections.clamp(1, 64) as usize)
 }
 
 #[cfg(test)]

@@ -44,7 +44,9 @@ mod delay;
 mod error;
 mod gate;
 pub mod generator;
+mod levels;
 pub mod limits;
+pub mod parallel;
 pub mod rng;
 pub mod samples;
 pub mod stats;
@@ -54,4 +56,5 @@ pub use circuit::{Circuit, CircuitBuilder};
 pub use delay::DelayModel;
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
+pub use levels::Levelization;
 pub use limits::ParseLimits;

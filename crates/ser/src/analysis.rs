@@ -17,7 +17,7 @@ use retime::{ElwParams, RetimeGraph, Retiming};
 use crate::elw::{compute_elws, IntervalSet};
 use crate::error_rate::ErrorRateModel;
 use crate::odc::Observability;
-use crate::sim::{FrameTrace, SimConfig};
+use crate::sim::{EngineReport, FrameTrace, SimConfig};
 
 /// Everything the SER analysis needs besides the circuit itself.
 #[derive(Debug, Clone)]
@@ -78,6 +78,9 @@ pub struct SerReport {
     pub elws: Vec<IntervalSet>,
     /// Clock period used.
     pub phi: i64,
+    /// Simulation/ODC engine diagnostics: thread count, sampled-audit
+    /// volume and circuit-breaker activity (scalar fallbacks).
+    pub engine: EngineReport,
 }
 
 impl SerReport {
@@ -184,6 +187,7 @@ pub fn analyze_with_observability(
         elw_size,
         elws,
         phi,
+        engine: *observability.engine(),
     })
 }
 

@@ -1,0 +1,283 @@
+//! Flat signature storage: one contiguous `frames × slots × words`
+//! buffer replacing the O(frames × gates) individual [`Signature`]
+//! heap allocations of the original engine.
+//!
+//! # Layout invariant
+//!
+//! The arena is **frame-major, then slot, then word**:
+//!
+//! ```text
+//! offset(frame, slot) = (frame * slots + slot) * words_per_sig
+//! ```
+//!
+//! * `frame` is the recorded time frame (0-based),
+//! * `slot` is a gate's position in the circuit's
+//!   [`Levelization`](netlist::Levelization) *slot order* — NOT its
+//!   [`GateId`](netlist::GateId). Level 0 (registers, then inputs,
+//!   then constants) occupies the lowest slots and every level is a
+//!   contiguous slot range, so `split_at_mut` on a frame hands a
+//!   level out as one disjoint mutable slice while all lower levels
+//!   stay immutably readable — the basis of the safe-Rust parallel
+//!   evaluation (`#![forbid(unsafe_code)]` holds for this crate),
+//! * `word` packs 64 simulation vectors, low bit of word 0 is
+//!   vector 0 (same convention as [`Signature::as_words`]).
+//!
+//! `FrameTrace::values` in the original engine was frame-major too
+//! (frame outer, gate inner), while the ODC pass walks gate-major
+//! *within* one frame — the layout keeps each frame contiguous so
+//! both access patterns stay within one `slots × words` window.
+//! [`SignatureArena::locate`] is the inverse of
+//! [`SignatureArena::offset`]; the unit tests below pin the
+//! round-trip at the word-boundary corner cases.
+
+use crate::signature::Signature;
+
+/// Borrowed read-only view of one signature inside an arena (or any
+/// word slice). All words are fully populated: the bit width is
+/// `words.len() * 64`.
+#[derive(Debug, Clone, Copy)]
+pub struct SigRef<'a> {
+    words: &'a [u64],
+}
+
+impl<'a> SigRef<'a> {
+    /// Wraps a word slice.
+    pub fn new(words: &'a [u64]) -> Self {
+        Self { words }
+    }
+
+    /// The underlying words (low bit of word 0 is vector 0).
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Number of bits (`K`).
+    pub fn len(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Whether the view has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Fraction of set bits.
+    pub fn density(&self) -> f64 {
+        self.count_ones() as f64 / self.len() as f64
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len());
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Copies the view into an owned [`Signature`].
+    pub fn to_signature(&self) -> Signature {
+        Signature::from_words(self.words.to_vec())
+    }
+}
+
+impl PartialEq for SigRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words
+    }
+}
+
+impl Eq for SigRef<'_> {}
+
+impl PartialEq<Signature> for SigRef<'_> {
+    fn eq(&self, other: &Signature) -> bool {
+        self.words == other.as_words()
+    }
+}
+
+impl PartialEq<SigRef<'_>> for Signature {
+    fn eq(&self, other: &SigRef<'_>) -> bool {
+        self.as_words() == other.words
+    }
+}
+
+/// The flat `frames × slots × words` signature buffer. See the module
+/// docs for the layout invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureArena {
+    words: Vec<u64>,
+    frames: usize,
+    slots: usize,
+    wps: usize,
+}
+
+impl SignatureArena {
+    /// Allocates a zeroed arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a positive multiple of 64, or if
+    /// `frames`/`slots` is zero.
+    pub fn new(frames: usize, slots: usize, bits: usize) -> Self {
+        assert!(
+            bits > 0 && bits.is_multiple_of(64),
+            "bits must be a positive multiple of 64"
+        );
+        assert!(frames > 0 && slots > 0, "arena dimensions must be positive");
+        let wps = bits / 64;
+        Self {
+            words: vec![0u64; frames * slots * wps],
+            frames,
+            slots,
+            wps,
+        }
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Number of slots per frame.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Words per signature.
+    pub fn words_per_sig(&self) -> usize {
+        self.wps
+    }
+
+    /// Bits per signature (`K`).
+    pub fn bits(&self) -> usize {
+        self.wps * 64
+    }
+
+    /// Word offset of `(frame, slot)` — the layout invariant in
+    /// executable form.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `frame`/`slot` is out of range.
+    pub fn offset(&self, frame: usize, slot: usize) -> usize {
+        debug_assert!(frame < self.frames && slot < self.slots);
+        (frame * self.slots + slot) * self.wps
+    }
+
+    /// Inverse of [`SignatureArena::offset`]: maps a word offset back
+    /// to `(frame, slot)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    pub fn locate(&self, offset: usize) -> (usize, usize) {
+        assert!(offset < self.words.len(), "offset out of range");
+        let sig = offset / self.wps;
+        (sig / self.slots, sig % self.slots)
+    }
+
+    /// Read-only view of one signature.
+    pub fn sig(&self, frame: usize, slot: usize) -> SigRef<'_> {
+        let o = self.offset(frame, slot);
+        SigRef::new(&self.words[o..o + self.wps])
+    }
+
+    /// Mutable words of one signature.
+    pub fn sig_mut(&mut self, frame: usize, slot: usize) -> &mut [u64] {
+        let o = self.offset(frame, slot);
+        &mut self.words[o..o + self.wps]
+    }
+
+    /// All words of one frame (`slots × words_per_sig`), slot-major.
+    pub fn frame(&self, frame: usize) -> &[u64] {
+        let o = self.offset(frame, 0);
+        &self.words[o..o + self.slots * self.wps]
+    }
+
+    /// Mutable words of one frame.
+    pub fn frame_mut(&mut self, frame: usize) -> &mut [u64] {
+        let o = self.offset(frame, 0);
+        &mut self.words[o..o + self.slots * self.wps]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_math_round_trips_at_word_boundaries() {
+        // Deliberately awkward dimensions: wps > 1 so a signature
+        // spans several words, slots not a power of two.
+        let a = SignatureArena::new(3, 5, 192); // wps = 3
+        for frame in 0..3 {
+            for slot in 0..5 {
+                let o = a.offset(frame, slot);
+                // Start of the signature maps back exactly...
+                assert_eq!(a.locate(o), (frame, slot));
+                // ...and so does every interior word of it.
+                for w in 1..a.words_per_sig() {
+                    assert_eq!(a.locate(o + w), (frame, slot), "interior word {w}");
+                }
+            }
+        }
+        // The extreme corners.
+        assert_eq!(a.locate(0), (0, 0));
+        let last = a.offset(2, 4) + a.words_per_sig() - 1;
+        assert_eq!(a.locate(last), (2, 4));
+    }
+
+    #[test]
+    fn offsets_are_contiguous_frame_major() {
+        let a = SignatureArena::new(2, 4, 128); // wps = 2
+                                                // Next slot in the same frame is wps words later.
+        assert_eq!(a.offset(0, 1), a.offset(0, 0) + 2);
+        // Next frame starts right after the last slot of the previous.
+        assert_eq!(a.offset(1, 0), a.offset(0, 3) + 2);
+        // Frame slices tile the buffer exactly.
+        assert_eq!(a.frame(0).len(), 4 * 2);
+        assert_eq!(a.offset(1, 0), a.frame(0).len());
+    }
+
+    #[test]
+    fn single_word_signatures() {
+        // wps = 1: the tightest packing, offset == sig index.
+        let a = SignatureArena::new(2, 3, 64);
+        assert_eq!(a.offset(1, 2), 5);
+        assert_eq!(a.locate(5), (1, 2));
+    }
+
+    #[test]
+    fn sig_views_read_written_words() {
+        let mut a = SignatureArena::new(2, 2, 128);
+        a.sig_mut(1, 1).copy_from_slice(&[0xAB, 0xCD]);
+        assert_eq!(a.sig(1, 1).words(), &[0xAB, 0xCD]);
+        assert_eq!(a.sig(0, 0).count_ones(), 0);
+        let s = a.sig(1, 1).to_signature();
+        assert_eq!(a.sig(1, 1), s);
+    }
+
+    #[test]
+    fn sigref_bit_and_density() {
+        let words = [1u64 << 63, 1u64];
+        let r = SigRef::new(&words);
+        assert_eq!(r.len(), 128);
+        assert!(r.bit(63));
+        assert!(r.bit(64));
+        assert!(!r.bit(0));
+        assert_eq!(r.count_ones(), 2);
+        assert!((r.density() - 2.0 / 128.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_out_of_range_panics() {
+        SignatureArena::new(1, 1, 64).locate(1);
+    }
+}

@@ -14,9 +14,10 @@
 //! retimers ship).
 
 use netlist::rng::Xoshiro256;
-use netlist::{Circuit, GateId, GateKind};
+use netlist::{Circuit, GateId, GateKind, Levelization};
 
-use crate::signature::{eval_gate, Signature};
+use crate::signature::Signature;
+use crate::sim::{eval_slots, EvalPlan};
 
 /// Parameters of the bounded check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,7 +107,7 @@ pub fn check_equivalence(a: &Circuit, b: &Circuit, config: EquivConfig) -> Equiv
         for (k, (&pa, &pb)) in a.outputs().iter().zip(b.outputs()).enumerate() {
             let va = sim_a.value(pa);
             let vb = sim_b.value(pb);
-            let diff = va.xor(vb).count_ones();
+            let diff: u32 = va.iter().zip(vb).map(|(x, y)| (x ^ y).count_ones()).sum();
             if diff > 0 {
                 return EquivResult::Mismatch(Mismatch {
                     cycle: cycle - config.warmup,
@@ -121,48 +122,61 @@ pub fn check_equivalence(a: &Circuit, b: &Circuit, config: EquivConfig) -> Equiv
 }
 
 /// Minimal per-circuit simulation state (registers reset to zero, so
-/// the check is deterministic across runs).
+/// the check is deterministic across runs). Values live in one flat
+/// `slots × words` buffer in levelization slot order, evaluated level
+/// by level — no per-cycle `Signature` allocations.
 struct SimState {
-    values: Vec<Signature>,
-    state: Vec<Signature>,
+    levels: Levelization,
+    plan: EvalPlan,
+    frame: Vec<u64>,
+    state: Vec<u64>,
+    wps: usize,
 }
 
 impl SimState {
     fn new(circuit: &Circuit, bits: usize) -> Self {
+        let levels = circuit.levelize();
+        let plan = EvalPlan::new(circuit, &levels);
+        let wps = bits / 64;
         Self {
-            values: vec![Signature::zeros(bits); circuit.len()],
-            state: vec![Signature::zeros(bits); circuit.registers().len()],
+            frame: vec![0u64; levels.num_gates() * wps],
+            state: vec![0u64; circuit.registers().len() * wps],
+            levels,
+            plan,
+            wps,
         }
     }
 
-    fn step(&mut self, circuit: &Circuit, stimulus: &[Signature]) {
-        let bits = stimulus.first().map_or(64, Signature::len);
-        for (si, &reg) in circuit.registers().iter().enumerate() {
-            self.values[reg.index()] = self.state[si].clone();
+    fn step(&mut self, _circuit: &Circuit, stimulus: &[Signature]) {
+        let wps = self.wps;
+        let r = self.plan.num_registers;
+        self.frame[..r * wps].copy_from_slice(&self.state);
+        for (k, sig) in stimulus.iter().enumerate() {
+            let s = r + k;
+            self.frame[s * wps..(s + 1) * wps].copy_from_slice(sig.as_words());
         }
-        for (k, &pi) in circuit.inputs().iter().enumerate() {
-            self.values[pi.index()] = stimulus[k].clone();
+        for s in (r + self.plan.num_inputs)..self.plan.num_sources {
+            let v = if self.plan.kinds[s] == GateKind::Const1 {
+                u64::MAX
+            } else {
+                0
+            };
+            self.frame[s * wps..(s + 1) * wps].fill(v);
         }
-        for &g in circuit.topo_order() {
-            let gate = circuit.gate(g);
-            if gate.kind() == GateKind::Input {
-                continue;
-            }
-            let fanins: Vec<&Signature> = gate
-                .fanins()
-                .iter()
-                .map(|&f| &self.values[f.index()])
-                .collect();
-            self.values[g.index()] = eval_gate(gate.kind(), &fanins, bits);
+        for l in 1..self.levels.num_levels() {
+            let lr = self.levels.level_slots(l);
+            let (prev, rest) = self.frame.split_at_mut(lr.start * wps);
+            let cur = &mut rest[..(lr.end - lr.start) * wps];
+            eval_slots(&self.plan, wps, prev, cur, lr.start);
         }
-        for (si, &reg) in circuit.registers().iter().enumerate() {
-            let d = circuit.gate(reg).fanins()[0];
-            self.state[si] = self.values[d.index()].clone();
+        for (i, &d) in self.plan.reg_d_slots.iter().enumerate() {
+            self.state[i * wps..(i + 1) * wps].copy_from_slice(&self.frame[d * wps..(d + 1) * wps]);
         }
     }
 
-    fn value(&self, gate: GateId) -> &Signature {
-        &self.values[gate.index()]
+    fn value(&self, gate: GateId) -> &[u64] {
+        let s = self.levels.slot_of(gate);
+        &self.frame[s * self.wps..(s + 1) * self.wps]
     }
 }
 

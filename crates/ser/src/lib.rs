@@ -39,10 +39,12 @@
 #![forbid(unsafe_code)]
 
 mod analysis;
+mod arena;
 pub mod elw;
 pub mod equiv;
 mod error_rate;
 pub mod odc;
+pub mod scalar;
 mod signature;
 pub mod sim;
 
@@ -50,6 +52,9 @@ pub use analysis::{
     analyze, analyze_with_observability, register_driver, vertex_observabilities, SerConfig,
     SerReport,
 };
+pub use arena::{SigRef, SignatureArena};
 pub use elw::IntervalSet;
 pub use error_rate::ErrorRateModel;
-pub use signature::{eval_gate, Signature};
+pub use odc::SABOTAGE_ODC_SEED;
+pub use signature::{eval_gate, signature_allocs, Signature};
+pub use sim::{EngineReport, SABOTAGE_SIM_SEED};

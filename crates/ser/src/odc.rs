@@ -12,104 +12,379 @@
 //! gate's signature flipped). Reconvergent fanout makes this an
 //! approximation; [`exact_fault_injection`] provides the exact
 //! (quadratic-cost) reference used to validate it in tests.
+//!
+//! # Engine
+//!
+//! ODC masks live in one flat `slots × words` buffer per frame, walked
+//! level by level in *reverse* [`Levelization`](netlist::Levelization)
+//! order (a gate's fanouts all sit on strictly higher levels, so each
+//! level's masks only read already-finalized higher slots — the mirror
+//! image of the forward simulator's `split_at_mut` scheme). The
+//! sensitivity product is fused: instead of materializing a flipped
+//! signature and a faulty re-evaluation per (gate, fanout) pair, the
+//! inner loop evaluates one faulty word at a time via
+//! [`eval_gate_word`] and ORs `odc(h) & (faulty ^ value(h))` straight
+//! into the accumulator — zero allocations per frame.
+//!
+//! Determinism, the sampled audits, the circuit breaker and the scalar
+//! fallback follow the forward engine (see [`crate::sim`]); trips land
+//! in [`Observability::engine`], merged with the trace's own report.
 
-use netlist::{Circuit, GateId, GateKind};
+use netlist::{parallel, Circuit, GateId, GateKind, Levelization};
 
-use crate::signature::{eval_gate, Signature};
-use crate::sim::{FrameTrace, SimConfig};
+use crate::scalar::ScalarTrace;
+use crate::signature::{eval_gate_word, Signature};
+use crate::sim::{eval_slots, EngineReport, EvalPlan, FrameTrace, SimConfig};
+
+/// Magic seed that makes a multi-threaded ODC pass deliberately
+/// corrupt one worker's output in the audited level of the first
+/// processed (= last recorded) frame — a test hook for the
+/// circuit-breaker fallback path.
+#[doc(hidden)]
+pub const SABOTAGE_ODC_SEED: u64 = 0x5AB0_7A6E_0D0C;
+
+/// One fanout's contribution to a gate's ODC accumulation.
+#[derive(Debug)]
+enum OdcFanout {
+    /// The fanout is a register capturing the gate: OR in the next
+    /// frame's ODC of register `ri` (or everything, in the last frame).
+    Reg(usize),
+    /// A combinational fanout: OR in `odc(h) & sensitivity(h, g)`,
+    /// where the sensitivity is evaluated word-by-word with the
+    /// `flip`-marked fanins inverted on the fly.
+    Comb {
+        h_slot: u32,
+        kind: GateKind,
+        fanins: Box<[(u32, bool)]>,
+    },
+}
+
+/// Per-slot accumulation plan, in levelization slot order.
+#[derive(Debug)]
+struct OdcSlot {
+    /// Primary-output markers start fully observable.
+    start_ones: bool,
+    fanouts: Box<[OdcFanout]>,
+}
+
+fn build_odc_plan(circuit: &Circuit, levels: &Levelization) -> Vec<OdcSlot> {
+    (0..circuit.len())
+        .map(|s| {
+            let g = levels.gate_at(s);
+            let start_ones = circuit.gate(g).kind() == GateKind::Output;
+            let fanouts = circuit
+                .fanouts(g)
+                .iter()
+                .map(|&h| {
+                    let hg = circuit.gate(h);
+                    if hg.kind() == GateKind::Dff {
+                        // Register slots are 0..R in `registers()` order.
+                        OdcFanout::Reg(levels.slot_of(h))
+                    } else {
+                        OdcFanout::Comb {
+                            h_slot: levels.slot_of(h) as u32,
+                            kind: hg.kind(),
+                            fanins: hg
+                                .fanins()
+                                .iter()
+                                .map(|&x| (levels.slot_of(x) as u32, x == g))
+                                .collect(),
+                        }
+                    }
+                })
+                .collect();
+            OdcSlot {
+                start_ones,
+                fanouts,
+            }
+        })
+        .collect()
+}
+
+/// Serially accumulates the ODC masks of slots `lo..lo + out.len()/wps`
+/// into `out`. `odc_right` holds the finalized masks of slots
+/// `right_base..`, `values` the nominal signatures of the frame, and
+/// `next_reg` the register ODCs of the following frame.
+#[allow(clippy::too_many_arguments)]
+fn odc_slots_serial<'a>(
+    plan: &[OdcSlot],
+    wps: usize,
+    values: &'a [u64],
+    odc_right: &[u64],
+    right_base: usize,
+    next_reg: &[u64],
+    last_frame: bool,
+    out: &mut [u64],
+    lo: usize,
+    pairs: &mut Vec<(&'a [u64], bool)>,
+) {
+    let slots = out.len() / wps;
+    for i in 0..slots {
+        let s = lo + i;
+        let acc = &mut out[i * wps..(i + 1) * wps];
+        acc.fill(if plan[s].start_ones { u64::MAX } else { 0 });
+        for fo in plan[s].fanouts.iter() {
+            match fo {
+                OdcFanout::Reg(ri) => {
+                    if last_frame {
+                        // The register input of the last frame is an
+                        // observation point: unconditionally visible.
+                        acc.fill(u64::MAX);
+                    } else {
+                        let nr = &next_reg[ri * wps..][..wps];
+                        for (a, b) in acc.iter_mut().zip(nr) {
+                            *a |= b;
+                        }
+                    }
+                }
+                OdcFanout::Comb {
+                    h_slot,
+                    kind,
+                    fanins,
+                } => {
+                    pairs.clear();
+                    for &(fs, flip) in fanins.iter() {
+                        let o = fs as usize * wps;
+                        pairs.push((&values[o..o + wps], flip));
+                    }
+                    let hs = *h_slot as usize;
+                    let h_odc = &odc_right[(hs - right_base) * wps..][..wps];
+                    let h_val = &values[hs * wps..][..wps];
+                    for (w, a) in acc.iter_mut().enumerate() {
+                        let faulty = eval_gate_word(*kind, pairs, w);
+                        *a |= h_odc[w] & (faulty ^ h_val[w]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates one reverse pass over slots `lo..hi` of `odc` in place,
+/// fanning the range across scoped workers when it is large enough.
+/// `sabotage` deliberately corrupts the first worker's chunk (test
+/// hook).
+#[allow(clippy::too_many_arguments)]
+fn odc_pass(
+    plan: &[OdcSlot],
+    wps: usize,
+    values: &[u64],
+    odc: &mut [u64],
+    lo: usize,
+    hi: usize,
+    next_reg: &[u64],
+    last_frame: bool,
+    workers: usize,
+    sabotage: bool,
+) {
+    let n = hi - lo;
+    let (left, right) = odc.split_at_mut(hi * wps);
+    let cur = &mut left[lo * wps..];
+    let workers = parallel::clamp_workers(workers, n);
+    if workers <= 1 {
+        let mut pairs = Vec::with_capacity(8);
+        odc_slots_serial(
+            plan, wps, values, right, hi, next_reg, last_frame, cur, lo, &mut pairs,
+        );
+        if sabotage {
+            cur[0] ^= 1;
+        }
+        return;
+    }
+    let chunk_slots = n.div_ceil(workers);
+    let right: &[u64] = right;
+    std::thread::scope(|scope| {
+        for (ci, chunk) in cur.chunks_mut(chunk_slots * wps).enumerate() {
+            scope.spawn(move || {
+                let mut pairs = Vec::with_capacity(8);
+                odc_slots_serial(
+                    plan,
+                    wps,
+                    values,
+                    right,
+                    hi,
+                    next_reg,
+                    last_frame,
+                    chunk,
+                    lo + ci * chunk_slots,
+                    &mut pairs,
+                );
+                if sabotage && ci == 0 {
+                    chunk[0] ^= 1;
+                }
+            });
+        }
+    });
+}
+
+/// Recomputes slots `lo..hi` serially and compares them with what the
+/// (possibly parallel) pass wrote. Returns `true` when identical.
+#[allow(clippy::too_many_arguments)]
+fn verify_pass(
+    plan: &[OdcSlot],
+    wps: usize,
+    values: &[u64],
+    odc: &[u64],
+    lo: usize,
+    hi: usize,
+    next_reg: &[u64],
+    last_frame: bool,
+) -> bool {
+    let mut scratch = vec![0u64; (hi - lo) * wps];
+    let mut pairs = Vec::with_capacity(8);
+    odc_slots_serial(
+        plan,
+        wps,
+        values,
+        &odc[hi * wps..],
+        hi,
+        next_reg,
+        last_frame,
+        &mut scratch,
+        lo,
+        &mut pairs,
+    );
+    odc[lo * wps..hi * wps] == scratch[..]
+}
+
+/// Deterministically samples the level to audit for a frame (0 is the
+/// layer-0 source region, processed last).
+fn audit_pass(frame: usize, num_levels: usize) -> usize {
+    frame.wrapping_mul(0x9E37_79B9) % num_levels
+}
 
 /// Per-gate observabilities derived from a frame trace.
 #[derive(Debug, Clone)]
 pub struct Observability {
     obs: Vec<f64>,
     frame0_odc: Vec<Signature>,
+    engine: EngineReport,
 }
 
 impl Observability {
     /// Computes observabilities from a simulated trace.
     pub fn compute(circuit: &Circuit, trace: &FrameTrace) -> Self {
-        let bits = trace.config().num_vectors;
+        let config = *trace.config();
+        let bits = config.num_vectors;
         let frames = trace.frames();
-        let n = circuit.len();
+        let wps = bits / 64;
+        let levels = trace.levels();
+        let slots = levels.num_gates();
+        let r = levels.num_registers();
+        let s0 = levels.level_slots(0).end;
+        let num_levels = levels.num_levels();
+        let plan = build_odc_plan(circuit, levels);
+        let threads = parallel::resolve_workers(config.threads);
+        let sabotage_run = config.seed == SABOTAGE_ODC_SEED && threads > 1;
+        let mut engine = EngineReport {
+            threads,
+            ..EngineReport::default()
+        };
 
         // ODC masks of the current frame (being computed) and register
         // ODCs of the next frame (already computed).
-        let mut next_reg_odc: Vec<Signature> =
-            vec![Signature::zeros(bits); circuit.registers().len()];
-        let mut frame_odc: Vec<Signature> = vec![Signature::zeros(bits); n];
-        let reg_index: Vec<Option<usize>> = {
-            let mut m = vec![None; n];
-            for (i, &r) in circuit.registers().iter().enumerate() {
-                m[r.index()] = Some(i);
-            }
-            m
-        };
+        let mut odc = vec![0u64; slots * wps];
+        let mut next_reg = vec![0u64; r * wps];
+        let mut tripped = false;
 
-        for f in (0..frames).rev() {
-            for s in frame_odc.iter_mut() {
-                *s = Signature::zeros(bits);
-            }
-            // Primary-output markers are fully observable in every frame.
-            for &po in circuit.outputs() {
-                frame_odc[po.index()] = Signature::ones(bits);
-            }
-            // Backward pass over the combinational order.
-            for &g in circuit.topo_order().iter().rev() {
-                let mut acc = std::mem::replace(&mut frame_odc[g.index()], Signature::zeros(bits));
-                for &h in circuit.fanouts(g) {
-                    match circuit.gate(h).kind() {
-                        GateKind::Dff => {
-                            // The register captures g; its value matters
-                            // in the next frame (or unconditionally in
-                            // the last recorded frame).
-                            let ri = reg_index[h.index()].expect("register indexed");
-                            if f == frames - 1 {
-                                acc = Signature::ones(bits);
-                            } else {
-                                acc.or_assign(&next_reg_odc[ri]);
-                            }
-                        }
-                        _ => {
-                            let sens = sensitivity(circuit, trace, f, h, g);
-                            acc.or_assign(&frame_odc[h.index()].and(&sens));
-                        }
-                    }
+        'frames: for f in (0..frames).rev() {
+            let last = f == frames - 1;
+            let values = trace.arena().frame(f);
+            odc.fill(0);
+            let audit = audit_pass(f, num_levels);
+            let sab_pass = if sabotage_run && last {
+                Some(audit)
+            } else {
+                None
+            };
+            // Backward over the combinational levels, then the layer-0
+            // source region (registers, inputs, constants).
+            for l in (1..num_levels).rev() {
+                let lr = levels.level_slots(l);
+                odc_pass(
+                    &plan,
+                    wps,
+                    values,
+                    &mut odc,
+                    lr.start,
+                    lr.end,
+                    &next_reg,
+                    last,
+                    threads,
+                    sab_pass == Some(l),
+                );
+                #[cfg(debug_assertions)]
+                if threads > 1 && sab_pass.is_none() {
+                    debug_assert!(
+                        verify_pass(&plan, wps, values, &odc, lr.start, lr.end, &next_reg, last),
+                        "parallel ODC level {l} diverged from serial evaluation"
+                    );
                 }
-                frame_odc[g.index()] = acc;
+            }
+            odc_pass(
+                &plan,
+                wps,
+                values,
+                &mut odc,
+                0,
+                s0,
+                &next_reg,
+                last,
+                threads,
+                sab_pass == Some(0),
+            );
+            #[cfg(debug_assertions)]
+            if threads > 1 && sab_pass.is_none() {
+                debug_assert!(
+                    verify_pass(&plan, wps, values, &odc, 0, s0, &next_reg, last),
+                    "parallel ODC source region diverged from serial evaluation"
+                );
+            }
+            if threads > 1 {
+                engine.audited_layers += 1;
+                let (alo, ahi) = if audit == 0 {
+                    (0, s0)
+                } else {
+                    let ar = levels.level_slots(audit);
+                    (ar.start, ar.end)
+                };
+                if !verify_pass(&plan, wps, values, &odc, alo, ahi, &next_reg, last) {
+                    engine.trips += 1;
+                    tripped = true;
+                    break 'frames;
+                }
             }
             // Register outputs act as frame sources; record their ODCs
             // for the previous (earlier) frame's pass.
-            for &q in circuit.registers() {
-                let mut acc = Signature::zeros(bits);
-                for &h in circuit.fanouts(q) {
-                    match circuit.gate(h).kind() {
-                        GateKind::Dff => {
-                            let rj = reg_index[h.index()].expect("register indexed");
-                            if f == frames - 1 {
-                                acc = Signature::ones(bits);
-                            } else {
-                                acc.or_assign(&next_reg_odc[rj].clone());
-                            }
-                        }
-                        _ => {
-                            let sens = sensitivity(circuit, trace, f, h, q);
-                            acc.or_assign(&frame_odc[h.index()].and(&sens));
-                        }
-                    }
-                }
-                frame_odc[q.index()] = acc;
-            }
-            next_reg_odc = circuit
-                .registers()
-                .iter()
-                .map(|&q| frame_odc[q.index()].clone())
-                .collect();
+            next_reg.copy_from_slice(&odc[..r * wps]);
         }
 
-        let obs = frame_odc.iter().map(|s| s.density()).collect();
+        if tripped {
+            // Circuit breaker: recompute with the scalar reference
+            // engine against the (already validated) trace values.
+            let st = ScalarTrace::from_trace(circuit, trace);
+            let (obs, frame0_odc) = crate::scalar::observability(circuit, &st);
+            engine.scalar_fallback = true;
+            return Self {
+                obs,
+                frame0_odc,
+                engine: trace.engine().merged(engine),
+            };
+        }
+
+        let mut obs = vec![0.0; circuit.len()];
+        let mut frame0_odc = Vec::with_capacity(circuit.len());
+        for (id, _) in circuit.iter() {
+            let s = levels.slot_of(id);
+            let words = &odc[s * wps..(s + 1) * wps];
+            let ones: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+            obs[id.index()] = ones as f64 / bits as f64;
+            frame0_odc.push(Signature::from_words(words.to_vec()));
+        }
         Self {
             obs,
-            frame0_odc: frame_odc,
+            frame0_odc,
+            engine: trace.engine().merged(engine),
         }
     }
 
@@ -128,100 +403,119 @@ impl Observability {
     pub fn as_slice(&self) -> &[f64] {
         &self.obs
     }
-}
 
-/// Sensitivity of gate `h` (at `frame`) to its fanin *signal* `g`:
-/// bit `k` is set when flipping `g` in vector `k` flips `h`'s output.
-/// All occurrences of `g` among `h`'s pins flip together.
-fn sensitivity(
-    circuit: &Circuit,
-    trace: &FrameTrace,
-    frame: usize,
-    h: GateId,
-    g: GateId,
-) -> Signature {
-    let gate = circuit.gate(h);
-    let bits = trace.config().num_vectors;
-    let flipped = trace.value(frame, g).not();
-    let fanins: Vec<&Signature> = gate
-        .fanins()
-        .iter()
-        .map(|&f| {
-            if f == g {
-                &flipped
-            } else {
-                trace.value(frame, f)
-            }
-        })
-        .collect();
-    let faulty = eval_gate(gate.kind(), &fanins, bits);
-    faulty.xor(trace.value(frame, h))
+    /// Engine diagnostics (simulation + ODC merged): thread count,
+    /// audits and circuit-breaker activity.
+    pub fn engine(&self) -> &EngineReport {
+        &self.engine
+    }
 }
 
 /// Exact observability by per-gate fault injection: flips the gate's
 /// output in frame 0 and fully resimulates the `n`-frame window,
 /// recording the vectors in which any primary output of any frame (or
 /// any register input of the last frame) differs. Quadratic cost —
-/// intended for validation on small circuits.
+/// intended for validation on small circuits; the victims are fanned
+/// across scoped workers ([`SimConfig::threads`]) and each worker
+/// reuses one pair of frame buffers across all its victims.
 pub fn exact_fault_injection(circuit: &Circuit, config: SimConfig) -> Vec<f64> {
     let trace = FrameTrace::simulate(circuit, config);
-    let bits = config.num_vectors;
-    let frames = config.frames;
     let n = circuit.len();
+    let levels = trace.levels();
+    let plan = EvalPlan::new(circuit, levels);
+    let wps = config.num_vectors / 64;
+    let slots = levels.num_gates();
+    let workers = parallel::resolve_workers_for(config.threads, n);
     let mut result = vec![0.0; n];
-
-    for (victim, vgate) in circuit.iter() {
-        if vgate.kind() == GateKind::Output {
-            result[victim.index()] = 1.0;
-            continue;
+    let chunk = n.div_ceil(workers);
+    let trace = &trace;
+    let plan = &plan;
+    std::thread::scope(|scope| {
+        for (ci, out) in result.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                let mut faulty = vec![0u64; slots * wps];
+                let mut prev = vec![0u64; slots * wps];
+                let mut detected = vec![0u64; wps];
+                for (vi, res) in out.iter_mut().enumerate() {
+                    let victim = GateId::new(ci * chunk + vi);
+                    *res = inject(trace, plan, victim, &mut faulty, &mut prev, &mut detected);
+                }
+            });
         }
-        // Faulty values per frame; start as copies of the nominal trace.
-        let mut detected = Signature::zeros(bits);
-        let mut faulty: Vec<Signature> = (0..n)
-            .map(|i| trace.value(0, GateId::new(i)).clone())
-            .collect();
-        // Inject at frame 0.
-        faulty[victim.index()] = faulty[victim.index()].not();
-        for f in 0..frames {
-            if f > 0 {
-                // Register outputs take the previous faulty frame's D.
-                let prev = faulty.clone();
-                for (i, _) in circuit.iter() {
-                    faulty[i.index()] = trace.value(f, i).clone();
-                }
-                for &q in circuit.registers() {
-                    let d = circuit.gate(q).fanins()[0];
-                    faulty[q.index()] = prev[d.index()].clone();
-                }
-            }
-            // Re-evaluate combinational logic (inputs keep nominal
-            // values; the injected gate keeps its flip only in frame 0).
-            for &g in circuit.topo_order() {
-                let gate = circuit.gate(g);
-                if gate.kind() == GateKind::Input {
-                    continue;
-                }
-                let fanins: Vec<&Signature> =
-                    gate.fanins().iter().map(|&x| &faulty[x.index()]).collect();
-                let mut value = eval_gate(gate.kind(), &fanins, bits);
-                if f == 0 && g == victim {
-                    value = value.not();
-                }
-                faulty[g.index()] = value;
-            }
-            for &po in circuit.outputs() {
-                detected.or_assign(&faulty[po.index()].xor(trace.value(f, po)));
-            }
-            if f == frames - 1 {
-                for &q in circuit.registers() {
-                    let d = circuit.gate(q).fanins()[0];
-                    detected.or_assign(&faulty[d.index()].xor(trace.value(f, d)));
-                }
-            }
-        }
-        result[victim.index()] = detected.density();
-    }
+    });
     result
+}
+
+/// Resimulates the full window with `victim` flipped in frame 0 and
+/// returns the detection density.
+fn inject(
+    trace: &FrameTrace,
+    plan: &EvalPlan,
+    victim: GateId,
+    faulty: &mut Vec<u64>,
+    prev: &mut Vec<u64>,
+    detected: &mut [u64],
+) -> f64 {
+    let levels = trace.levels();
+    let config = trace.config();
+    let wps = config.num_vectors / 64;
+    let frames = config.frames;
+    let vslot = levels.slot_of(victim);
+    if plan.kinds[vslot] == GateKind::Output {
+        return 1.0;
+    }
+    let vlevel = levels.level_of(victim);
+    detected.fill(0);
+    for f in 0..frames {
+        let nominal = trace.arena().frame(f);
+        if f == 0 {
+            // Faulty values start as copies of the nominal trace, with
+            // the victim flipped (source victims keep the flip; a
+            // combinational victim is re-flipped after its level).
+            faulty.copy_from_slice(nominal);
+            for w in &mut faulty[vslot * wps..(vslot + 1) * wps] {
+                *w = !*w;
+            }
+        } else {
+            // Register outputs take the previous faulty frame's D;
+            // inputs and constants keep nominal values.
+            std::mem::swap(prev, faulty);
+            faulty.copy_from_slice(nominal);
+            for (i, &d) in plan.reg_d_slots.iter().enumerate() {
+                faulty[i * wps..(i + 1) * wps].copy_from_slice(&prev[d * wps..(d + 1) * wps]);
+            }
+        }
+        for l in 1..levels.num_levels() {
+            let lr = levels.level_slots(l);
+            let (lo_part, rest) = faulty.split_at_mut(lr.start * wps);
+            let cur = &mut rest[..(lr.end - lr.start) * wps];
+            eval_slots(plan, wps, lo_part, cur, lr.start);
+            if f == 0 && l == vlevel {
+                let off = (vslot - lr.start) * wps;
+                for w in &mut cur[off..off + wps] {
+                    *w = !*w;
+                }
+            }
+        }
+        for &po in &plan.output_slots {
+            let fa = &faulty[po * wps..][..wps];
+            let no = &nominal[po * wps..][..wps];
+            for ((d, a), b) in detected.iter_mut().zip(fa).zip(no) {
+                *d |= a ^ b;
+            }
+        }
+        if f == frames - 1 {
+            for &ds in &plan.reg_d_slots {
+                let fa = &faulty[ds * wps..][..wps];
+                let no = &nominal[ds * wps..][..wps];
+                for ((d, a), b) in detected.iter_mut().zip(fa).zip(no) {
+                    *d |= a ^ b;
+                }
+            }
+        }
+    }
+    let ones: u64 = detected.iter().map(|w| w.count_ones() as u64).sum();
+    ones as f64 / config.num_vectors as f64
 }
 
 #[cfg(test)]
@@ -368,5 +662,88 @@ mod tests {
         let t = FrameTrace::simulate(&c, SimConfig::small());
         let o = Observability::compute(&c, &t);
         assert_eq!(o.obs(c.find("dead").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn matches_scalar_observability_bit_for_bit() {
+        for (name, c) in [
+            ("s27", samples::s27_like()),
+            ("fig1", samples::fig1_like()),
+            ("pipeline", samples::pipeline(7, 2)),
+        ] {
+            let cfg = SimConfig::small();
+            let trace = FrameTrace::simulate(&c, cfg);
+            let o = Observability::compute(&c, &trace);
+            let st = ScalarTrace::from_trace(&c, &trace);
+            let (obs, frame0) = crate::scalar::observability(&c, &st);
+            for (id, _) in c.iter() {
+                assert_eq!(o.obs(id), obs[id.index()], "{name}: obs of {id}");
+                assert_eq!(o.odc_mask(id), &frame0[id.index()], "{name}: mask of {id}");
+            }
+            assert!(o.engine().is_clean());
+        }
+    }
+
+    #[test]
+    fn threaded_odc_is_bit_identical() {
+        let c = samples::fig1_like();
+        let base = Observability::compute(&c, &FrameTrace::simulate(&c, SimConfig::small()));
+        for threads in [2, 7] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::small()
+            };
+            let o = Observability::compute(&c, &FrameTrace::simulate(&c, cfg));
+            assert!(o.engine().is_clean(), "threads={threads}");
+            assert!(o.engine().audited_layers > 0, "threads={threads}");
+            for (id, _) in c.iter() {
+                assert_eq!(o.obs(id), base.obs(id), "threads={threads}");
+                assert_eq!(o.odc_mask(id), base.odc_mask(id), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sabotaged_odc_trips_breaker_and_falls_back() {
+        let c = samples::fig1_like();
+        let cfg = SimConfig {
+            seed: SABOTAGE_ODC_SEED,
+            threads: 2,
+            ..SimConfig::small()
+        };
+        let trace = FrameTrace::simulate(&c, cfg);
+        assert!(trace.engine().is_clean(), "sim must not be sabotaged");
+        let o = Observability::compute(&c, &trace);
+        assert_eq!(o.engine().trips, 1, "sabotage must trip the ODC audit");
+        assert!(o.engine().scalar_fallback);
+        // The fallback result is the scalar engine's, bit for bit.
+        let st = ScalarTrace::from_trace(&c, &trace);
+        let (obs, frame0) = crate::scalar::observability(&c, &st);
+        for (id, _) in c.iter() {
+            assert_eq!(o.obs(id), obs[id.index()]);
+            assert_eq!(o.odc_mask(id), &frame0[id.index()]);
+        }
+        // The same seed single-threaded is not sabotaged and agrees.
+        let o1 = Observability::compute(
+            &c,
+            &FrameTrace::simulate(&c, SimConfig { threads: 1, ..cfg }),
+        );
+        assert!(o1.engine().is_clean());
+        for (id, _) in c.iter() {
+            assert_eq!(o.obs(id), o1.obs(id));
+        }
+    }
+
+    #[test]
+    fn exact_injection_matches_scalar_reference() {
+        for (name, c) in [("s27", samples::s27_like()), ("fig1", samples::fig1_like())] {
+            let cfg = SimConfig::small();
+            let arena = exact_fault_injection(&c, cfg);
+            let scalar = crate::scalar::exact_fault_injection(&c, cfg);
+            assert_eq!(arena, scalar, "{name}");
+            // And threaded injection agrees too.
+            let threaded = exact_fault_injection(&c, SimConfig { threads: 3, ..cfg });
+            assert_eq!(threaded, scalar, "{name} threaded");
+        }
     }
 }

@@ -5,6 +5,23 @@
 use netlist::rng::Xoshiro256;
 use netlist::GateKind;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of `Signature` heap allocations (constructors
+/// and clones). The arena engine exists to drive this to ~zero on the
+/// hot paths; `bench-ser` reports it per engine run.
+static SIG_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn note_alloc() {
+    SIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of [`Signature`] heap allocations since process start
+/// (constructors and clones; `clone_from` into existing capacity does
+/// not count). Monotonic — benchmark deltas, don't reset.
+pub fn signature_allocs() -> u64 {
+    SIG_ALLOCS.load(Ordering::Relaxed)
+}
 
 /// A packed vector of `K` simulation bits.
 ///
@@ -17,10 +34,27 @@ use std::fmt;
 /// assert_eq!(a.count_ones(), 128);
 /// assert_eq!(a.and(&b).count_ones(), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Signature {
     words: Vec<u64>,
     bits: usize,
+}
+
+impl Clone for Signature {
+    fn clone(&self) -> Self {
+        note_alloc();
+        Self {
+            words: self.words.clone(),
+            bits: self.bits,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Reuses the existing word buffer when capacities allow, so
+        // this is not counted as a fresh allocation.
+        self.words.clone_from(&source.words);
+        self.bits = source.bits;
+    }
 }
 
 impl Signature {
@@ -35,10 +69,24 @@ impl Signature {
             bits > 0 && bits.is_multiple_of(64),
             "bits must be a positive multiple of 64"
         );
+        note_alloc();
         Self {
             words: vec![0; bits / 64],
             bits,
         }
+    }
+
+    /// Builds a signature from raw words (one bit per vector, low bit
+    /// of word 0 is vector 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty.
+    pub fn from_words(words: Vec<u64>) -> Self {
+        assert!(!words.is_empty(), "signature needs at least one word");
+        note_alloc();
+        let bits = words.len() * 64;
+        Self { words, bits }
     }
 
     /// All-one signature.
@@ -51,6 +99,7 @@ impl Signature {
             bits > 0 && bits.is_multiple_of(64),
             "bits must be a positive multiple of 64"
         );
+        note_alloc();
         Self {
             words: vec![u64::MAX; bits / 64],
             bits,
@@ -67,6 +116,7 @@ impl Signature {
             bits > 0 && bits.is_multiple_of(64),
             "bits must be a positive multiple of 64"
         );
+        note_alloc();
         Self {
             words: (0..bits / 64).map(|_| rng.next_u64()).collect(),
             bits,
@@ -136,6 +186,7 @@ impl Signature {
 
     /// Bitwise NOT.
     pub fn not(&self) -> Self {
+        note_alloc();
         Self {
             words: self.words.iter().map(|w| !w).collect(),
             bits: self.bits,
@@ -152,6 +203,7 @@ impl Signature {
 
     fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
         assert_eq!(self.bits, other.bits, "signature width mismatch");
+        note_alloc();
         Self {
             words: self
                 .words
@@ -206,6 +258,94 @@ pub fn eval_gate(kind: GateKind, fanins: &[&Signature], bits: usize) -> Signatur
             let b = fanins[2];
             // sel ? b : a
             sel.and(b).or(&sel.not().and(a))
+        }
+    }
+}
+
+/// Evaluates a gate function over fanin word slices, writing into
+/// `out` — the allocation-free kernel behind the arena engine. All
+/// slices must have equal length; fanin arity is the caller's
+/// responsibility (the circuit builder validates it at construction).
+pub(crate) fn eval_gate_words(kind: GateKind, fanins: &[&[u64]], out: &mut [u64]) {
+    match kind {
+        GateKind::Input | GateKind::Const0 => out.fill(0),
+        GateKind::Const1 => out.fill(u64::MAX),
+        GateKind::Output | GateKind::Buf | GateKind::Dff => out.copy_from_slice(fanins[0]),
+        GateKind::Not => {
+            for (o, a) in out.iter_mut().zip(fanins[0]) {
+                *o = !a;
+            }
+        }
+        GateKind::And => fold_words(fanins, out, u64::MAX, false, |a, b| a & b),
+        GateKind::Nand => fold_words(fanins, out, u64::MAX, true, |a, b| a & b),
+        GateKind::Or => fold_words(fanins, out, 0, false, |a, b| a | b),
+        GateKind::Nor => fold_words(fanins, out, 0, true, |a, b| a | b),
+        GateKind::Xor => fold_words(fanins, out, 0, false, |a, b| a ^ b),
+        GateKind::Xnor => fold_words(fanins, out, 0, true, |a, b| a ^ b),
+        GateKind::Mux => {
+            let (sel, a, b) = (fanins[0], fanins[1], fanins[2]);
+            for (w, o) in out.iter_mut().enumerate() {
+                *o = (sel[w] & b[w]) | (!sel[w] & a[w]);
+            }
+        }
+    }
+}
+
+fn fold_words(
+    fanins: &[&[u64]],
+    out: &mut [u64],
+    identity: u64,
+    invert: bool,
+    f: impl Fn(u64, u64) -> u64 + Copy,
+) {
+    match fanins.split_first() {
+        None => out.fill(if invert { !identity } else { identity }),
+        Some((first, rest)) => {
+            out.copy_from_slice(first);
+            for fanin in rest {
+                for (o, b) in out.iter_mut().zip(*fanin) {
+                    *o = f(*o, *b);
+                }
+            }
+            if invert {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates one word of a gate function over `(words, flip)` fanins,
+/// where `flip` complements that fanin — the kernel of the fused ODC
+/// sensitivity computation (re-evaluate a gate with one input signal
+/// inverted, without materializing the flipped signature).
+pub(crate) fn eval_gate_word(kind: GateKind, fanins: &[(&[u64], bool)], w: usize) -> u64 {
+    #[inline]
+    fn read(fanins: &[(&[u64], bool)], i: usize, w: usize) -> u64 {
+        let (words, flip) = fanins[i];
+        if flip {
+            !words[w]
+        } else {
+            words[w]
+        }
+    }
+    match kind {
+        GateKind::Input | GateKind::Const0 => 0,
+        GateKind::Const1 => u64::MAX,
+        GateKind::Output | GateKind::Buf | GateKind::Dff => read(fanins, 0, w),
+        GateKind::Not => !read(fanins, 0, w),
+        GateKind::And => (0..fanins.len()).fold(u64::MAX, |acc, i| acc & read(fanins, i, w)),
+        GateKind::Nand => !(0..fanins.len()).fold(u64::MAX, |acc, i| acc & read(fanins, i, w)),
+        GateKind::Or => (0..fanins.len()).fold(0, |acc, i| acc | read(fanins, i, w)),
+        GateKind::Nor => !(0..fanins.len()).fold(0, |acc, i| acc | read(fanins, i, w)),
+        GateKind::Xor => (0..fanins.len()).fold(0, |acc, i| acc ^ read(fanins, i, w)),
+        GateKind::Xnor => !(0..fanins.len()).fold(0, |acc, i| acc ^ read(fanins, i, w)),
+        GateKind::Mux => {
+            let sel = read(fanins, 0, w);
+            let a = read(fanins, 1, w);
+            let b = read(fanins, 2, w);
+            (sel & b) | (!sel & a)
         }
     }
 }
@@ -310,5 +450,66 @@ mod tests {
         let a = Signature::zeros(64);
         let b = Signature::zeros(128);
         let _ = a.and(&b);
+    }
+
+    #[test]
+    fn word_kernels_match_signature_eval() {
+        use GateKind::*;
+        let bits = 192;
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let sigs: Vec<Signature> = (0..3).map(|_| Signature::random(bits, &mut rng)).collect();
+        let refs: Vec<&Signature> = sigs.iter().collect();
+        let word_refs: Vec<&[u64]> = sigs.iter().map(|s| s.as_words()).collect();
+        for kind in [And, Nand, Or, Nor, Xor, Xnor, Mux, Not, Buf] {
+            let n = match kind {
+                Mux => 3,
+                Not | Buf => 1,
+                _ => 3,
+            };
+            let expect = eval_gate(kind, &refs[..n], bits);
+            let mut out = vec![0u64; bits / 64];
+            eval_gate_words(kind, &word_refs[..n], &mut out);
+            assert_eq!(out.as_slice(), expect.as_words(), "{kind} slice kernel");
+            let flat: Vec<(&[u64], bool)> = word_refs[..n].iter().map(|&ws| (ws, false)).collect();
+            for w in 0..bits / 64 {
+                assert_eq!(
+                    eval_gate_word(kind, &flat, w),
+                    expect.as_words()[w],
+                    "{kind} word kernel at {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_word_kernel_matches_explicit_not() {
+        let bits = 128;
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let a = Signature::random(bits, &mut rng);
+        let b = Signature::random(bits, &mut rng);
+        let expect = eval_gate(GateKind::And, &[&a.not(), &b], bits);
+        let flat = [(a.as_words(), true), (b.as_words(), false)];
+        for w in 0..bits / 64 {
+            assert_eq!(
+                eval_gate_word(GateKind::And, &flat, w),
+                expect.as_words()[w]
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_counter_moves() {
+        let before = signature_allocs();
+        let s = Signature::zeros(128);
+        let _c = s.clone();
+        let _n = s.not();
+        assert!(signature_allocs() >= before + 3);
+    }
+
+    #[test]
+    fn from_words_round_trip() {
+        let s = Signature::from_words(vec![0xDEAD_BEEF, u64::MAX]);
+        assert_eq!(s.len(), 128);
+        assert_eq!(s.as_words(), &[0xDEAD_BEEF, u64::MAX]);
     }
 }

@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         frames: 10,
         warmup: 8,
         seed: 0xC0FFEE,
+        threads: 0,
     };
     let trace = FrameTrace::simulate(&circuit, sim);
     let observability = Observability::compute(&circuit, &trace);

@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         frames: 15,
         warmup: 16,
         seed: 0xC0FFEE,
+        threads: 0,
     };
     let trace = FrameTrace::simulate(&circuit, sim);
     let obs = Observability::compute(&circuit, &trace);

@@ -1,0 +1,173 @@
+//! Differential proptest suite for the parallel arena SER engine: on
+//! random generated circuits, for every worker count and vector width,
+//! the levelized arena engine must be bit-identical to the scalar
+//! per-`Signature` oracle — same frame traces, same observabilities,
+//! same `analyze` reports — and the sampled-audit circuit breaker must
+//! catch a sabotaged worker and fall back to the scalar engine.
+
+use netlist::generator::GeneratorConfig;
+use netlist::Circuit;
+use proptest::prelude::*;
+use ser_engine::odc::{exact_fault_injection, Observability, SABOTAGE_ODC_SEED};
+use ser_engine::scalar::{self, ScalarTrace};
+use ser_engine::sim::{FrameTrace, SimConfig, SABOTAGE_SIM_SEED};
+use ser_engine::{analyze, SerConfig};
+
+fn circuit_of(seed: u64) -> Circuit {
+    GeneratorConfig::new("pid", seed)
+        .gates(40 + (seed as usize % 40))
+        .registers(6 + (seed as usize % 8))
+        .build()
+}
+
+fn config_of(num_vectors: usize, threads: usize) -> SimConfig {
+    SimConfig {
+        num_vectors,
+        frames: 6,
+        warmup: 4,
+        seed: 0xC0FFEE ^ num_vectors as u64,
+        threads,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The arena engine's frame trace equals the scalar oracle's,
+    /// signature by signature, at every worker count and vector width.
+    #[test]
+    fn frame_trace_matches_scalar_oracle(
+        seed in 0u64..10,
+        threads in prop::sample::select(vec![1usize, 2, 7]),
+        num_vectors in prop::sample::select(vec![64usize, 256, 2048]),
+    ) {
+        let circuit = circuit_of(seed);
+        let config = config_of(num_vectors, threads);
+        let trace = FrameTrace::simulate(&circuit, config);
+        let oracle = ScalarTrace::simulate(&circuit, config);
+        prop_assert!(trace.engine().trips == 0 && !trace.engine().scalar_fallback);
+        for f in 0..config.frames {
+            for (id, _) in circuit.iter() {
+                prop_assert!(
+                    trace.value(f, id) == *oracle.value(f, id),
+                    "frame {f}, gate {}", circuit.gate(id).name()
+                );
+            }
+        }
+    }
+
+    /// Observabilities (and the frame-0 ODC masks) are byte-identical
+    /// between the parallel arena backward pass and the scalar oracle.
+    #[test]
+    fn observability_matches_scalar_oracle(
+        seed in 0u64..10,
+        threads in prop::sample::select(vec![1usize, 2, 7]),
+        num_vectors in prop::sample::select(vec![64usize, 256]),
+    ) {
+        let circuit = circuit_of(seed);
+        let config = config_of(num_vectors, threads);
+        let trace = FrameTrace::simulate(&circuit, config);
+        let obs = Observability::compute(&circuit, &trace);
+        let oracle_trace = ScalarTrace::simulate(&circuit, config);
+        let (oracle_obs, oracle_masks) = scalar::observability(&circuit, &oracle_trace);
+        prop_assert_eq!(obs.as_slice(), &oracle_obs[..]);
+        for (id, _) in circuit.iter() {
+            prop_assert!(
+                obs.odc_mask(id) == &oracle_masks[id.index()],
+                "odc mask of {}", circuit.gate(id).name()
+            );
+        }
+        if threads > 1 {
+            prop_assert!(obs.engine().audited_layers > 0, "audits must sample");
+        }
+        prop_assert!(obs.engine().is_clean());
+    }
+
+    /// The full eq. (4) analysis — the user-visible report — does not
+    /// depend on the worker count, bit for bit.
+    #[test]
+    fn analyze_report_is_thread_invariant(
+        seed in 0u64..8,
+        threads in prop::sample::select(vec![2usize, 7]),
+    ) {
+        let circuit = circuit_of(seed);
+        let mut config = SerConfig::small(40 + seed as i64 % 20);
+        config.sim.threads = 1;
+        let baseline = analyze(&circuit, &config).unwrap();
+        config.sim.threads = threads;
+        let parallel = analyze(&circuit, &config).unwrap();
+        prop_assert_eq!(baseline.ser, parallel.ser);
+        prop_assert_eq!(baseline.ser_logic_only, parallel.ser_logic_only);
+        prop_assert_eq!(&baseline.obs, &parallel.obs);
+        prop_assert_eq!(baseline.register_observability, parallel.register_observability);
+        prop_assert!(baseline.engine.is_clean() && parallel.engine.is_clean());
+    }
+
+    /// The parallel exact-injection reference equals its scalar twin.
+    #[test]
+    fn exact_injection_is_thread_invariant(
+        seed in 0u64..6,
+        threads in prop::sample::select(vec![2usize, 7]),
+    ) {
+        let circuit = circuit_of(seed);
+        let config = config_of(256, threads);
+        let got = exact_fault_injection(&circuit, config);
+        let oracle = scalar::exact_fault_injection(&circuit, config);
+        prop_assert_eq!(got, oracle);
+    }
+
+    /// A sabotaged simulation worker is caught by the sampled audit:
+    /// the breaker trips, the engine falls back to the scalar oracle,
+    /// and the reported values are still the correct ones.
+    #[test]
+    fn sabotaged_sim_worker_trips_breaker_and_results_stay_correct(
+        seed in 0u64..6,
+        threads in prop::sample::select(vec![2usize, 7]),
+    ) {
+        let circuit = circuit_of(seed);
+        let sabotaged = SimConfig {
+            seed: SABOTAGE_SIM_SEED,
+            threads,
+            ..config_of(256, threads)
+        };
+        let trace = FrameTrace::simulate(&circuit, sabotaged);
+        prop_assert!(trace.engine().trips >= 1, "audit must catch the sabotage");
+        prop_assert!(trace.engine().scalar_fallback);
+        let oracle = ScalarTrace::simulate(&circuit, sabotaged);
+        for f in 0..sabotaged.frames {
+            for (id, _) in circuit.iter() {
+                prop_assert!(
+                    trace.value(f, id) == *oracle.value(f, id),
+                    "fallback diverged at frame {f}, gate {}", circuit.gate(id).name()
+                );
+            }
+        }
+        // The same seed at one thread has no sabotage target and stays
+        // clean — the hook only fires on pooled runs.
+        let clean = FrameTrace::simulate(&circuit, SimConfig { threads: 1, ..sabotaged });
+        prop_assert!(clean.engine().is_clean());
+    }
+
+    /// A sabotaged ODC worker likewise trips the backward-pass breaker
+    /// and the fallback reproduces the scalar observabilities exactly.
+    #[test]
+    fn sabotaged_odc_worker_trips_breaker_and_results_stay_correct(
+        seed in 0u64..6,
+        threads in prop::sample::select(vec![2usize, 7]),
+    ) {
+        let circuit = circuit_of(seed);
+        let sabotaged = SimConfig {
+            seed: SABOTAGE_ODC_SEED,
+            threads,
+            ..config_of(256, threads)
+        };
+        let trace = FrameTrace::simulate(&circuit, sabotaged);
+        prop_assert!(trace.engine().is_clean(), "sim is not the sabotage target");
+        let obs = Observability::compute(&circuit, &trace);
+        prop_assert!(obs.engine().trips >= 1, "audit must catch the sabotage");
+        prop_assert!(obs.engine().scalar_fallback);
+        let oracle_trace = ScalarTrace::simulate(&circuit, sabotaged);
+        let (oracle_obs, _) = scalar::observability(&circuit, &oracle_trace);
+        prop_assert_eq!(obs.as_slice(), &oracle_obs[..]);
+    }
+}

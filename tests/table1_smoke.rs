@@ -12,6 +12,7 @@ fn scaled_suite_runs_and_has_shape() {
         filter: None,
         num_vectors: 256,
         frames: 6,
+        threads: 0,
     };
     let rows = run_table1(&options);
     assert!(

@@ -53,6 +53,23 @@
 //!   --time-budget SECS               wall-clock budget per solver run
 //!   --max-iters N                    iteration budget per solver run
 //!
+//! retimer serve [options]
+//!
+//!   Runs as a daemon: newline-delimited JSON requests on stdin (or a
+//!   unix socket), concurrent solves, per-job progress events, and a
+//!   content-addressed result cache. Closing stdin (or `{"op":"drain"}`)
+//!   drains gracefully. See crates/serve and DESIGN.md §12.
+//!
+//!   --cache DIR                      cache + recovery directory
+//!                                    (default .retimer-cache)
+//!   --workers W                      concurrent solve workers (default 0 =
+//!                                    SER_THREADS env, else all cores)
+//!   --queue N                        admission bound on waiting jobs
+//!                                    (default 64; over it: backpressure)
+//!   --time-budget SECS               default per-job wall-clock budget
+//!   --max-iters N                    default per-job iteration budget
+//!   --socket PATH                    listen on a unix socket instead of stdin
+//!
 //! retimer bench-ser [options]
 //!
 //!   Benchmarks the SER simulation data plane: the legacy per-signature
@@ -151,6 +168,7 @@ fn main() -> ExitCode {
         Some("fault-sim") => run_fault_sim(),
         Some("bench-solve") => run_bench_solve(),
         Some("bench-ser") => run_bench_ser(),
+        Some("serve") => run_serve(),
         Some("solve") => run(true),
         _ => run(false),
     };
@@ -822,6 +840,66 @@ fn run_bench_ser() -> Result<u8, CliError> {
     std::fs::write(&options.out, ser_bench::to_json(&records))?;
     println!("wrote {}", options.out);
     Ok(0)
+}
+
+/// `retimer serve`: boots the daemon (crates/serve) on stdin/stdout or
+/// a unix socket and runs it until drained.
+fn run_serve() -> Result<u8, CliError> {
+    let (config, socket) = parse_serve_args()?;
+    let outcome = match socket {
+        Some(path) => serve::run_socket(config, Path::new(&path)),
+        None => serve::run_stdio(config),
+    };
+    outcome.map_err(CliError::Usage)
+}
+
+fn parse_serve_args() -> Result<(serve::ServeConfig, Option<String>), String> {
+    let mut args = std::env::args().skip(2); // binary name + "serve"
+    let mut config = serve::ServeConfig::new(".retimer-cache");
+    let mut socket: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache" => config.cache_dir = args.next().ok_or("--cache needs a directory")?.into(),
+            "--workers" => {
+                config.workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--workers needs a non-negative integer")?
+            }
+            "--queue" => {
+                config.queue_capacity = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--queue needs a positive integer")?
+            }
+            "--time-budget" => {
+                config.default_time_budget = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&secs: &f64| secs.is_finite() && secs > 0.0)
+                        .ok_or("--time-budget needs a positive number of seconds")?,
+                )
+            }
+            "--max-iters" => {
+                config.default_max_iters = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--max-iters needs a positive integer")?,
+                )
+            }
+            "--socket" => socket = Some(args.next().ok_or("--socket needs a path")?),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: retimer serve [--cache DIR] [--workers W] [--queue N] \
+                     [--time-budget SECS] [--max-iters N] [--socket PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok((config, socket))
 }
 
 fn append_csv(path: &str, run: &minobswin::experiment::CircuitRun) -> std::io::Result<()> {

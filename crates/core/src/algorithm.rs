@@ -519,6 +519,7 @@ fn run_phase(
         }
         stats.iterations += 1;
         local_iterations += 1;
+        rt.tick_progress(stats.iterations, stats.commits);
         if local_iterations > iteration_cap {
             eprintln!(
                 "warning: minobswin solver hit the iteration safety cap \

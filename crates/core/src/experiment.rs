@@ -2,7 +2,9 @@
 //! MinObs / MinObsWin → retimed netlists → SER re-analysis. One call
 //! produces everything a row of the paper's Table I reports.
 
+use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use netlist::{Circuit, DelayModel};
@@ -56,6 +58,85 @@ pub struct RunConfig {
     /// Resume each method from its checkpoint file when one exists
     /// (the `retimer --resume` flag; requires [`RunConfig::checkpoint`]).
     pub resume: bool,
+    /// Base solver configuration shared by both methods (the MinObs
+    /// baseline additionally applies `with_p2(false)`). Lets embedding
+    /// callers — the serve daemon's per-job configs — select e.g. the
+    /// closure engine without bypassing the experiment driver.
+    pub solver: SolverConfig,
+    /// Phase/progress event stream (see [`ExperimentEvent`]); unset by
+    /// default.
+    pub progress: ProgressHook,
+}
+
+/// A pipeline phase notification streamed by [`Experiment::run`]
+/// through [`RunConfig::with_progress`]. The serve daemon maps these
+/// onto its per-job `levelized` / `iteration` protocol events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentEvent {
+    /// The retiming graph is built, §V initialization succeeded and
+    /// the circuit is levelized; solving is about to start.
+    Levelized {
+        /// Retiming-graph vertices (excluding the host).
+        vertices: usize,
+        /// Retiming-graph edges.
+        edges: usize,
+        /// Combinational levels in the circuit.
+        levels: usize,
+        /// The chosen period constraint Φ.
+        phi: i64,
+        /// The chosen (or overridden) `R_min` bound.
+        r_min: i64,
+    },
+    /// Periodic solver progress (method is `"minobs"` or
+    /// `"minobswin"`).
+    SolveProgress {
+        /// Which method is solving.
+        method: &'static str,
+        /// Total solver iterations so far.
+        iterations: usize,
+        /// Committed improvement rounds so far.
+        commits: usize,
+    },
+    /// One method's solve finished.
+    MethodDone {
+        /// Which method finished.
+        method: &'static str,
+    },
+}
+
+/// A shareable experiment progress callback.
+pub type ExperimentProgressFn = dyn Fn(ExperimentEvent) + Send + Sync;
+
+/// An optional [`ExperimentProgressFn`], wrapped so [`RunConfig`]
+/// stays `Debug + Clone + Default`.
+#[derive(Clone, Default)]
+pub struct ProgressHook(Option<Arc<ExperimentProgressFn>>);
+
+impl fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ProgressHook")
+            .field(&self.0.is_some())
+            .finish()
+    }
+}
+
+impl ProgressHook {
+    /// Wraps a callback.
+    pub fn new(f: Arc<ExperimentProgressFn>) -> Self {
+        Self(Some(f))
+    }
+
+    /// Emits one event (a no-op when unset).
+    pub fn emit(&self, event: ExperimentEvent) {
+        if let Some(f) = &self.0 {
+            f(event);
+        }
+    }
+
+    /// Whether a callback is registered.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
 }
 
 impl RunConfig {
@@ -109,6 +190,19 @@ impl RunConfig {
     /// Resumes from existing checkpoint files.
     pub fn with_resume(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Sets the base solver configuration (both methods start from it;
+    /// MinObs additionally disables P2).
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Streams [`ExperimentEvent`]s through `f` as the pipeline runs.
+    pub fn with_progress(mut self, f: Arc<ExperimentProgressFn>) -> Self {
+        self.progress = ProgressHook::new(f);
         self
     }
 }
@@ -244,6 +338,14 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
         t_hold: config.init.t_hold,
     };
 
+    config.progress.emit(ExperimentEvent::Levelized {
+        vertices: graph.num_vertices() - 1,
+        edges: graph.num_edges(),
+        levels: netlist::Levelization::of(circuit).num_levels(),
+        phi: init.phi,
+        r_min,
+    });
+
     // One simulation serves everything: retiming does not change the
     // observability of combinational gates (§III.B).
     let trace = FrameTrace::simulate(circuit, config.sim);
@@ -293,7 +395,7 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
     // Both methods run under the same budget: wall-time expiry in one
     // cancels the shared token, so the other degrades promptly instead
     // of doubling the overrun.
-    let supervise = |method: &str| -> Result<Supervision, SolveError> {
+    let supervise = |method: &'static str| -> Result<Supervision, SolveError> {
         let mut sup = Supervision::new().budget(config.budget.clone());
         if let Some(prefix) = &config.checkpoint {
             let path = checkpoint_path(prefix, method);
@@ -302,23 +404,40 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
             }
             sup = sup.checkpoint_to(FileCheckpointSink::new(path));
         }
+        if config.progress.is_set() {
+            let hook = config.progress.clone();
+            sup = sup.on_progress(Arc::new(move |p: crate::SolveProgress| {
+                hook.emit(ExperimentEvent::SolveProgress {
+                    method,
+                    iterations: p.iterations,
+                    commits: p.commits,
+                });
+            }));
+        }
         Ok(sup)
     };
 
     let t0 = Instant::now();
     let ref_sol = SolverSession::new(&graph, &problem)
-        .config(SolverConfig::default().with_p2(false))
+        .config(config.solver.with_p2(false))
         .initial(init.retiming.clone())
         .run_supervised(supervise("minobs")?)?
         .into_solution();
     let ref_secs = t0.elapsed().as_secs_f64();
+    config
+        .progress
+        .emit(ExperimentEvent::MethodDone { method: "minobs" });
 
     let t1 = Instant::now();
     let win_sol = SolverSession::new(&graph, &problem)
+        .config(config.solver)
         .initial(init.retiming.clone())
         .run_supervised(supervise("minobswin")?)?
         .into_solution();
     let win_secs = t1.elapsed().as_secs_f64();
+    config.progress.emit(ExperimentEvent::MethodDone {
+        method: "minobswin",
+    });
 
     Ok(CircuitRun {
         name: circuit.name().to_string(),

@@ -63,7 +63,7 @@ pub use problem::Problem;
 pub use session::SolverSession;
 pub use supervisor::{
     CancelToken, Checkpoint, CheckpointSink, DegradationReport, FileCheckpointSink,
-    MemoryCheckpointSink, SolveBudget, SolveOutcome, StopReason, Supervision,
+    MemoryCheckpointSink, SolveBudget, SolveOutcome, SolveProgress, StopReason, Supervision,
 };
 
 use std::error::Error;

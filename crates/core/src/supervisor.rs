@@ -41,6 +41,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use netlist::digest::{format_digest, parse_digest, Fnv1a};
 use retime::{RetimeGraph, Retiming, VertexId};
 
 use crate::closure::ConstraintSystem;
@@ -397,7 +398,7 @@ impl Checkpoint {
         let mut out = String::new();
         out.push_str(CHECKPOINT_MAGIC);
         out.push('\n');
-        let _ = writeln!(out, "digest {:016x}", self.digest);
+        let _ = writeln!(out, "digest {}", format_digest(self.digest));
         let _ = writeln!(
             out,
             "phase {}",
@@ -475,12 +476,11 @@ impl Checkpoint {
                     .collect()
             };
             match key {
-                "digest" => {
-                    digest = Some(
-                        u64::from_str_radix(rest, 16)
-                            .map_err(|_| format!("bad digest `{rest}`"))?,
-                    )
-                }
+                // Digests are stored self-describing (`fnv1a-v1:<hex>`);
+                // an untagged or foreign-tagged digest is refused so a
+                // checkpoint from an incompatible digest scheme can
+                // never validate by hex coincidence.
+                "digest" => digest = Some(parse_digest(rest)?),
                 "phase" => {
                     direction_increase = Some(match rest {
                         "increase" => true,
@@ -584,9 +584,10 @@ impl Checkpoint {
     pub(crate) fn validate(&self, num_vertices: usize, digest: u64) -> Result<(), String> {
         if self.digest != digest {
             return Err(format!(
-                "checkpoint digest {:016x} does not match this instance ({digest:016x}); \
+                "checkpoint digest {} does not match this instance ({}); \
                  the circuit, problem or solve configuration changed",
-                self.digest
+                format_digest(self.digest),
+                format_digest(digest)
             ));
         }
         if self.retiming.len() != num_vertices {
@@ -690,9 +691,24 @@ impl CheckpointSink for MemoryCheckpointSink {
     }
 }
 
+/// Periodic solver progress, streamed through
+/// [`Supervision::on_progress`] at iteration boundaries. The serve
+/// daemon forwards these as per-job `iteration` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveProgress {
+    /// Total solver iterations so far (across phases).
+    pub iterations: usize,
+    /// Committed improvement rounds so far (`#J`).
+    pub commits: usize,
+}
+
+/// A shareable progress callback (the solver calls it from whichever
+/// thread runs the solve).
+pub type ProgressFn = dyn Fn(SolveProgress) + Send + Sync;
+
 /// Supervision controls for one solver run: a budget, an optional
-/// checkpoint sink, an optional checkpoint to resume from, and the
-/// sampled-audit interval. Pass to
+/// checkpoint sink, an optional checkpoint to resume from, the
+/// sampled-audit interval, and an optional progress stream. Pass to
 /// [`crate::SolverSession::run_supervised`].
 pub struct Supervision {
     pub(crate) budget: SolveBudget,
@@ -700,6 +716,8 @@ pub struct Supervision {
     pub(crate) checkpoint_every: usize,
     pub(crate) resume: Option<Checkpoint>,
     pub(crate) audit_interval: u64,
+    pub(crate) progress: Option<Arc<ProgressFn>>,
+    pub(crate) progress_every: usize,
 }
 
 impl fmt::Debug for Supervision {
@@ -710,6 +728,8 @@ impl fmt::Debug for Supervision {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("resume", &self.resume.is_some())
             .field("audit_interval", &self.audit_interval)
+            .field("progress", &self.progress.is_some())
+            .field("progress_every", &self.progress_every)
             .finish()
     }
 }
@@ -722,6 +742,8 @@ impl Default for Supervision {
             checkpoint_every: 16,
             resume: None,
             audit_interval: DEFAULT_AUDIT_INTERVAL,
+            progress: None,
+            progress_every: DEFAULT_PROGRESS_INTERVAL,
         }
     }
 }
@@ -729,6 +751,10 @@ impl Default for Supervision {
 /// Default sampled-audit interval: every Nth incremental-engine call
 /// is re-run on the from-scratch engine and compared bit-for-bit.
 pub const DEFAULT_AUDIT_INTERVAL: u64 = 64;
+
+/// Default progress-stream interval: [`Supervision::on_progress`]
+/// fires every Nth solver iteration.
+pub const DEFAULT_PROGRESS_INTERVAL: usize = 32;
 
 impl Supervision {
     /// Default supervision: unlimited budget, no checkpoints, audits
@@ -774,6 +800,22 @@ impl Supervision {
         self.audit_interval = n.max(1);
         self
     }
+
+    /// Streams [`SolveProgress`] through `f` at iteration boundaries.
+    #[must_use]
+    pub fn on_progress(mut self, f: Arc<ProgressFn>) -> Self {
+        self.progress = Some(f);
+        self
+    }
+
+    /// Fires the progress stream every `every` iterations (default
+    /// [`DEFAULT_PROGRESS_INTERVAL`]; clamped to at least 1 — 1
+    /// reports every iteration).
+    #[must_use]
+    pub fn progress_every(mut self, every: usize) -> Self {
+        self.progress_every = every.max(1);
+        self
+    }
 }
 
 /// A coarse model of the solver's memory footprint in bytes: graph
@@ -793,6 +835,8 @@ pub(crate) struct SupervisorRt {
     sink: Option<Box<dyn CheckpointSink>>,
     checkpoint_every: usize,
     resume: Option<Checkpoint>,
+    progress: Option<Arc<ProgressFn>>,
+    progress_every: usize,
     /// The instance fingerprint stamped into every checkpoint.
     pub(crate) digest: u64,
     /// Objective of the original starting retiming.
@@ -814,6 +858,8 @@ impl SupervisorRt {
             sink: supervision.sink,
             checkpoint_every: supervision.checkpoint_every,
             resume: supervision.resume,
+            progress: supervision.progress,
+            progress_every: supervision.progress_every,
             budget: supervision.budget,
             digest,
             start_objective: 0,
@@ -871,6 +917,19 @@ impl SupervisorRt {
     /// Whether call number `calls` (1-based) is a sampled-audit point.
     pub(crate) fn audit_due(&self, calls: u64) -> bool {
         calls.is_multiple_of(self.audit_interval)
+    }
+
+    /// Streams progress to the registered callback at the configured
+    /// cadence (a no-op without one).
+    pub(crate) fn tick_progress(&self, iterations: usize, commits: usize) {
+        if let Some(f) = &self.progress {
+            if iterations.is_multiple_of(self.progress_every) {
+                f(SolveProgress {
+                    iterations,
+                    commits,
+                });
+            }
+        }
     }
 
     pub(crate) fn closure_allowed(&self) -> bool {
@@ -982,29 +1041,6 @@ pub(crate) fn instance_digest(
     h.write_u64(u64::from(enable_p2));
     h.write_u64(u64::from(bidirectional));
     h.finish()
-}
-
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    fn new() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write_u64(&mut self, x: u64) {
-        for byte in x.to_le_bytes() {
-            self.0 ^= u64::from(byte);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn write_i64(&mut self, x: i64) {
-        self.write_u64(x as u64);
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
 }
 
 /// Outcome of a supervised solve.

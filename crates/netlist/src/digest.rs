@@ -1,0 +1,185 @@
+//! Content digests for netlists and cache keys.
+//!
+//! Everything in the suite that fingerprints an instance — solver
+//! checkpoints, the serve daemon's content-addressed result cache —
+//! uses the same FNV-1a hasher, and every digest that is printed or
+//! stored is **self-describing**: it carries the [`DIGEST_TAG`]
+//! version prefix (`fnv1a-v1:`), so a load site can refuse a digest
+//! produced by a different (future) scheme instead of silently
+//! comparing incompatible hashes.
+//!
+//! ```
+//! use netlist::digest::{format_digest, parse_digest};
+//! let text = format_digest(0xdead_beef);
+//! assert_eq!(text, "fnv1a-v1:00000000deadbeef");
+//! assert_eq!(parse_digest(&text).unwrap(), 0xdead_beef);
+//! assert!(parse_digest("fnv1a-v2:00000000deadbeef").is_err());
+//! ```
+
+use crate::bench_format;
+use crate::Circuit;
+
+/// The version tag prefixed to every printed or stored digest. Bump it
+/// when the hash function or the hashed canonical form changes; load
+/// sites reject mismatched tags.
+pub const DIGEST_TAG: &str = "fnv1a-v1";
+
+/// Formats a digest in the self-describing form
+/// `fnv1a-v1:<16 hex digits>`.
+pub fn format_digest(digest: u64) -> String {
+    format!("{DIGEST_TAG}:{digest:016x}")
+}
+
+/// Parses a self-describing digest, rejecting a missing or mismatched
+/// version tag with a message naming both tags.
+///
+/// # Errors
+///
+/// A description of the first problem found (missing tag, wrong tag,
+/// or malformed hex), suitable for wrapping in a caller's error type.
+pub fn parse_digest(text: &str) -> Result<u64, String> {
+    let Some((tag, hex)) = text.split_once(':') else {
+        return Err(format!(
+            "digest `{text}` is missing the `{DIGEST_TAG}:` version tag"
+        ));
+    };
+    if tag != DIGEST_TAG {
+        return Err(format!(
+            "digest version tag `{tag}` does not match this build's `{DIGEST_TAG}`; \
+             it was produced by an incompatible digest scheme"
+        ));
+    }
+    u64::from_str_radix(hex, 16).map_err(|_| format!("digest `{text}` has malformed hex `{hex}`"))
+}
+
+/// The suite's shared FNV-1a (64-bit) hasher. Deliberately simple and
+/// dependency-free; it fingerprints content for cache keys and
+/// checkpoint validation, not for security.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feeds one `u64` (little-endian byte order).
+    pub fn write_u64(&mut self, x: u64) {
+        self.write_bytes(&x.to_le_bytes());
+    }
+
+    /// Feeds one `i64` (two's-complement, little-endian).
+    pub fn write_i64(&mut self, x: i64) {
+        self.write_u64(x as u64);
+    }
+
+    /// Feeds a string, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The content digest of a circuit: FNV-1a over its canonical `.bench`
+/// serialization. Two circuits digest equal exactly when
+/// [`bench_format::write`] emits the same text — the same gates, kinds,
+/// fanins, I/O and registers in the same canonical order — regardless
+/// of which source format or file they were parsed from.
+pub fn circuit_digest(circuit: &Circuit) -> u64 {
+    content_digest(bench_format::write(circuit).as_bytes())
+}
+
+/// The content digest of raw bytes (e.g. an unparsed netlist file).
+pub fn content_digest(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    #[test]
+    fn format_and_parse_round_trip() {
+        for digest in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_digest(&format_digest(digest)).unwrap(), digest);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_missing_and_mismatched_tags() {
+        assert!(parse_digest("0123456789abcdef")
+            .unwrap_err()
+            .contains("missing"));
+        assert!(parse_digest("fnv1a-v2:0123456789abcdef")
+            .unwrap_err()
+            .contains("fnv1a-v1"));
+        assert!(parse_digest("fnv1a-v1:not-hex")
+            .unwrap_err()
+            .contains("malformed"));
+    }
+
+    #[test]
+    fn circuit_digest_is_content_addressed() {
+        let a = samples::s27_like();
+        let mut b = samples::s27_like();
+        assert_eq!(circuit_digest(&a), circuit_digest(&b));
+        // Renaming the circuit does not change its gates, and the
+        // canonical .bench form carries the name only in a comment the
+        // writer always emits — so assert on the actual behaviour:
+        // digests follow the canonical serialization byte-for-byte.
+        b.set_name("other");
+        assert_eq!(
+            circuit_digest(&a) == circuit_digest(&b),
+            bench_format::write(&a) == bench_format::write(&b),
+        );
+        let c = samples::pipeline(5, 2);
+        assert_ne!(circuit_digest(&a), circuit_digest(&c));
+    }
+
+    #[test]
+    fn fnv_is_stable_across_write_granularity() {
+        let mut a = Fnv1a::new();
+        a.write_bytes(b"hello world");
+        let mut b = Fnv1a::new();
+        b.write_bytes(b"hello ");
+        b.write_bytes(b"world");
+        assert_eq!(a.finish(), b.finish());
+        // Known FNV-1a test vector.
+        assert_eq!(content_digest(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn write_str_is_length_prefixed() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`generator`]: deterministic synthetic circuits, including *twins*
 //!   of the 21 Table I benchmark circuits,
 //! * [`DelayModel`]: integer gate delays,
+//! * [`digest`]: the suite's shared FNV-1a content digests, with the
+//!   self-describing `fnv1a-v1:` version tag,
 //! * [`rng`]: a reproducible PRNG shared by the whole suite,
 //! * [`samples`]: hand-built circuits for tests and figure
 //!   reproductions.
@@ -41,6 +43,7 @@ pub mod bench_format;
 pub mod blif;
 mod circuit;
 mod delay;
+pub mod digest;
 mod error;
 mod gate;
 pub mod generator;

@@ -20,9 +20,31 @@
 /// requested (`SER_THREADS=4 retimer ...`).
 pub const THREADS_ENV: &str = "SER_THREADS";
 
+/// Classifies a thread-count spec (the [`THREADS_ENV`] value or a
+/// `--threads` argument): `Ok(n)` for a positive integer, `Err` with a
+/// human-readable reason for `0`, garbage, or an unparseable number.
+/// Exposed so every front-end rejects (or warns about) bad specs with
+/// the same wording.
+///
+/// # Errors
+///
+/// A description of why the spec is not a positive worker count.
+pub fn parse_thread_spec(spec: &str) -> Result<usize, String> {
+    match spec.trim().parse::<usize>() {
+        Ok(0) => Err("0 is not a positive worker count".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("`{}` is not a positive integer", spec.trim())),
+    }
+}
+
 /// Resolves a worker count: explicit `requested` (non-zero) beats the
 /// [`THREADS_ENV`] environment variable, which beats
 /// [`std::thread::available_parallelism`]. Always returns ≥ 1.
+///
+/// A set-but-invalid [`THREADS_ENV`] (zero, garbage, out of range) is
+/// **not** silently ignored: a structured warning naming the rejected
+/// value and the worker count actually resolved is printed to stderr,
+/// once per process.
 ///
 /// # Examples
 ///
@@ -35,16 +57,35 @@ pub fn resolve_workers(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+    let hardware = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match parse_thread_spec(&v) {
+            Ok(n) => n,
+            Err(reason) => {
+                let resolved = hardware();
+                warn_bad_env_once(&v, &reason, resolved);
+                resolved
             }
-        }
+        },
+        Err(_) => hardware(),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+}
+
+/// Prints the bad-[`THREADS_ENV`] warning once per process. Every
+/// threaded stage calls [`resolve_workers`]; repeating the warning per
+/// stage would drown the diagnostic it carries.
+fn warn_bad_env_once(value: &str, reason: &str, resolved: usize) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "warning: ignoring {THREADS_ENV}=\"{value}\": {reason} \
+             [resolved_workers={resolved} source=hardware]"
+        );
+    });
 }
 
 /// Clamps a resolved worker count to the number of independent work
@@ -96,5 +137,15 @@ mod tests {
     fn resolve_for_combines() {
         assert_eq!(resolve_workers_for(8, 2), 2);
         assert_eq!(resolve_workers_for(2, 8), 2);
+    }
+
+    #[test]
+    fn thread_spec_classification() {
+        assert_eq!(parse_thread_spec("4"), Ok(4));
+        assert_eq!(parse_thread_spec(" 2 "), Ok(2));
+        assert!(parse_thread_spec("0").unwrap_err().contains("0"));
+        assert!(parse_thread_spec("abc").unwrap_err().contains("abc"));
+        assert!(parse_thread_spec("-3").unwrap_err().contains("-3"));
+        assert!(parse_thread_spec("").is_err());
     }
 }

@@ -1,0 +1,62 @@
+//! Golden tests pinning the digest scheme.
+//!
+//! The serve cache, checkpoint files and every printed digest use
+//! `fnv1a-v1:` tagged FNV-1a digests. These tests fail loudly if the
+//! hash function, the tag, or the canonical `.bench` serialization
+//! drifts — any of which would silently orphan every existing cache
+//! entry and checkpoint in the field.
+
+use netlist::bench_format;
+use netlist::digest::{circuit_digest, content_digest, format_digest, parse_digest};
+
+const FIXTURE: &str = include_str!("fixtures/golden.bench");
+
+/// Raw-content digest of the committed fixture bytes. If this changes,
+/// the hash function changed.
+#[test]
+fn fixture_content_digest_is_pinned() {
+    assert_eq!(
+        format_digest(content_digest(FIXTURE.as_bytes())),
+        "fnv1a-v1:b7d49f4f649dff04",
+        "FNV-1a over the fixture bytes drifted: cache keys and \
+         checkpoint digests in the field no longer match"
+    );
+}
+
+/// Digest of the parsed-and-reserialized fixture. If this changes (and
+/// the previous test does not), the canonical `.bench` writer drifted.
+#[test]
+fn fixture_circuit_digest_is_pinned() {
+    let circuit = bench_format::parse(FIXTURE, "golden").expect("fixture parses");
+    assert_eq!(
+        format_digest(circuit_digest(&circuit)),
+        "fnv1a-v1:0660eb6b004cd44e",
+        "canonical .bench serialization drifted: content-addressed \
+         cache entries no longer match their circuits"
+    );
+}
+
+/// The empty input hashes to the FNV-1a offset basis — the scheme's
+/// most basic anchor.
+#[test]
+fn empty_content_is_offset_basis() {
+    assert_eq!(content_digest(b""), 0xcbf2_9ce4_8422_2325);
+}
+
+/// Tagged digests round-trip, and untagged or foreign-tagged strings
+/// are rejected with errors naming the problem.
+#[test]
+fn tag_round_trip_and_rejection() {
+    let tagged = format_digest(0x1234_5678_9abc_def0);
+    assert_eq!(tagged, "fnv1a-v1:123456789abcdef0");
+    assert_eq!(parse_digest(&tagged).unwrap(), 0x1234_5678_9abc_def0);
+
+    let untagged = parse_digest("123456789abcdef0").unwrap_err();
+    assert!(untagged.contains("missing"), "got: {untagged}");
+    let foreign = parse_digest("sha256-v9:123456789abcdef0").unwrap_err();
+    assert!(
+        foreign.contains("sha256-v9") && foreign.contains("fnv1a-v1"),
+        "error must name both tags: {foreign}"
+    );
+    assert!(parse_digest("fnv1a-v1:xyz").is_err());
+}

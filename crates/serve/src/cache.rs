@@ -1,0 +1,430 @@
+//! The content-addressed result cache.
+//!
+//! Three independent stages, each keyed on content rather than on file
+//! names or submission order:
+//!
+//! | stage     | key                                    | payload                     |
+//! |-----------|----------------------------------------|-----------------------------|
+//! | `netlist` | digest of the raw submitted bytes      | canonical `.bench` text     |
+//! | `levels`  | digest of the canonical circuit        | levelization summary (JSON) |
+//! | `result`  | circuit digest + config fingerprint    | retimed `.bench` + report   |
+//!
+//! Keys embed the self-describing `fnv1a-v1:` tag, so a cache
+//! directory written by one digest scheme can never be silently
+//! misread by another. All writes are atomic (`tmp` + rename): a
+//! killed daemon leaves either the old entry or the new one, never a
+//! torn file.
+//!
+//! Only clean exit-0 results are cached. Degraded results depend on
+//! where a wall-clock budget happened to expire, so caching them would
+//! let one slow run poison every future resubmission.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use netlist::digest::{content_digest, format_digest, parse_digest, Fnv1a};
+
+use crate::job::{ClosureChoice, JobSpec, Method};
+use crate::json::Json;
+
+/// Hit/miss counters for each cache stage. The soak test uses
+/// [`CacheCounters::result_hits`] to prove a resubmission was served
+/// from the cache rather than re-solved.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Netlist-stage hits.
+    pub netlist_hits: AtomicU64,
+    /// Netlist-stage misses.
+    pub netlist_misses: AtomicU64,
+    /// Levelization-stage hits.
+    pub levels_hits: AtomicU64,
+    /// Levelization-stage misses.
+    pub levels_misses: AtomicU64,
+    /// Result-stage hits.
+    pub result_hits: AtomicU64,
+    /// Result-stage misses.
+    pub result_misses: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Current result-stage hit count.
+    pub fn result_hits(&self) -> u64 {
+        self.result_hits.load(Ordering::Relaxed)
+    }
+
+    /// A JSON snapshot (the `stats` protocol response body).
+    pub fn to_json(&self) -> Json {
+        let n = |c: &AtomicU64| Json::num(c.load(Ordering::Relaxed) as f64);
+        Json::obj(vec![
+            ("netlist_hits", n(&self.netlist_hits)),
+            ("netlist_misses", n(&self.netlist_misses)),
+            ("levels_hits", n(&self.levels_hits)),
+            ("levels_misses", n(&self.levels_misses)),
+            ("result_hits", n(&self.result_hits)),
+            ("result_misses", n(&self.result_misses)),
+        ])
+    }
+}
+
+/// The on-disk cache rooted at one directory.
+#[derive(Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+    /// Stage hit/miss counters.
+    pub counters: CacheCounters,
+}
+
+/// A cached levelization summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelsEntry {
+    /// Combinational levels.
+    pub levels: usize,
+    /// Total gates.
+    pub gates: usize,
+    /// Registers.
+    pub registers: usize,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `root` with the
+    /// stage subdirectories `netlist/`, `levels/`, `result/` and
+    /// `jobs/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        for sub in ["netlist", "levels", "result", "jobs"] {
+            fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(Self {
+            root,
+            counters: CacheCounters::default(),
+        })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The checkpoint path prefix for a result key: in-flight solver
+    /// checkpoints live next to the job files so a restarted daemon
+    /// resumes them.
+    pub fn checkpoint_prefix(&self, result_key: &str) -> PathBuf {
+        self.root.join("jobs").join(result_key)
+    }
+
+    // ----- netlist stage -------------------------------------------------
+
+    /// The netlist-stage key for raw submitted bytes.
+    pub fn netlist_key(source: &str) -> String {
+        format_digest(content_digest(source.as_bytes()))
+    }
+
+    /// Looks up the canonical `.bench` text for a netlist key.
+    pub fn lookup_netlist(&self, key: &str) -> Option<String> {
+        let hit = read_valid(&self.stage_path("netlist", key, "bench"));
+        self.count(
+            hit.is_some(),
+            &self.counters.netlist_hits,
+            &self.counters.netlist_misses,
+        );
+        hit
+    }
+
+    /// Stores the canonical `.bench` text for a netlist key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (callers may treat the cache as
+    /// best-effort and continue).
+    pub fn store_netlist(&self, key: &str, canonical_bench: &str) -> io::Result<()> {
+        write_atomic(&self.stage_path("netlist", key, "bench"), canonical_bench)
+    }
+
+    // ----- levels stage --------------------------------------------------
+
+    /// Looks up the levelization summary for a circuit digest key.
+    pub fn lookup_levels(&self, key: &str) -> Option<LevelsEntry> {
+        let hit = read_valid(&self.stage_path("levels", key, "json")).and_then(|text| {
+            let v = Json::parse(&text).ok()?;
+            Some(LevelsEntry {
+                levels: v.get("levels")?.as_u64()? as usize,
+                gates: v.get("gates")?.as_u64()? as usize,
+                registers: v.get("registers")?.as_u64()? as usize,
+            })
+        });
+        self.count(
+            hit.is_some(),
+            &self.counters.levels_hits,
+            &self.counters.levels_misses,
+        );
+        hit
+    }
+
+    /// Stores a levelization summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn store_levels(&self, key: &str, entry: LevelsEntry) -> io::Result<()> {
+        let body = Json::obj(vec![
+            ("levels", Json::num(entry.levels as f64)),
+            ("gates", Json::num(entry.gates as f64)),
+            ("registers", Json::num(entry.registers as f64)),
+        ]);
+        write_atomic(&self.stage_path("levels", key, "json"), &body.to_string())
+    }
+
+    // ----- result stage --------------------------------------------------
+
+    /// The result-stage key: circuit digest plus config fingerprint.
+    pub fn result_key(circuit_key: &str, fingerprint: u64) -> String {
+        format!("{circuit_key}-{fingerprint:016x}")
+    }
+
+    /// Looks up a completed result: the retimed `.bench` text and the
+    /// JSON report stored by [`ResultCache::store_result`].
+    pub fn lookup_result(&self, key: &str) -> Option<(String, Json)> {
+        let hit = (|| {
+            let bench = read_valid(&self.stage_path("result", key, "bench"))?;
+            let meta = Json::parse(&read_valid(&self.stage_path("result", key, "meta"))?).ok()?;
+            Some((bench, meta))
+        })();
+        self.count(
+            hit.is_some(),
+            &self.counters.result_hits,
+            &self.counters.result_misses,
+        );
+        hit
+    }
+
+    /// [`ResultCache::lookup_result`] without touching the hit/miss
+    /// counters — for `result` queries about an already-completed job,
+    /// which say nothing about cache effectiveness.
+    pub fn peek_result(&self, key: &str) -> Option<(String, Json)> {
+        let bench = read_valid(&self.stage_path("result", key, "bench"))?;
+        let meta = Json::parse(&read_valid(&self.stage_path("result", key, "meta"))?).ok()?;
+        Some((bench, meta))
+    }
+
+    /// Stores a completed (exit-0) result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn store_result(&self, key: &str, bench: &str, meta: &Json) -> io::Result<()> {
+        write_atomic(&self.stage_path("result", key, "bench"), bench)?;
+        write_atomic(&self.stage_path("result", key, "meta"), &meta.to_string())
+    }
+
+    // ----- job persistence (restart recovery) ----------------------------
+
+    /// Persists a job spec to `jobs/<id>.job` so a killed daemon can
+    /// re-enqueue it on restart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn persist_job(&self, spec: &JobSpec) -> io::Result<()> {
+        write_atomic(&self.job_path(&spec.id), &spec.to_json().to_string())
+    }
+
+    /// Removes the persisted spec of a terminal job (best-effort).
+    pub fn remove_job(&self, id: &str) {
+        let _ = fs::remove_file(self.job_path(id));
+    }
+
+    /// Scans `jobs/` for specs persisted by a previous daemon process,
+    /// in sorted order. Unreadable entries are skipped.
+    pub fn scan_jobs(&self) -> Vec<JobSpec> {
+        let mut paths: Vec<PathBuf> = fs::read_dir(self.root.join("jobs"))
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|e| e == "job"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        paths.sort();
+        paths
+            .iter()
+            .filter_map(|p| {
+                let text = fs::read_to_string(p).ok()?;
+                JobSpec::from_json(&Json::parse(&text).ok()?).ok()
+            })
+            .collect()
+    }
+
+    fn stage_path(&self, stage: &str, key: &str, ext: &str) -> PathBuf {
+        self.root.join(stage).join(format!("{key}.{ext}"))
+    }
+
+    fn job_path(&self, id: &str) -> PathBuf {
+        self.root.join("jobs").join(format!("{id}.job"))
+    }
+
+    fn count(&self, hit: bool, hits: &AtomicU64, misses: &AtomicU64) {
+        if hit { hits } else { misses }.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Reads a stage entry, but only if its key carries the digest tag
+/// this build understands: a cache written by a future `fnv2-…` scheme
+/// is skipped (a miss), never misinterpreted.
+fn read_valid(path: &Path) -> Option<String> {
+    let stem = path.file_stem()?.to_str()?;
+    // Result keys are `<tag>:<hex>-<fp>`; stage keys are `<tag>:<hex>`.
+    // The tag itself contains `-`, so split after the `:`-delimited
+    // hex run, not on the first dash.
+    let colon = stem.find(':')?;
+    let hex_end = stem[colon + 1..]
+        .find('-')
+        .map_or(stem.len(), |i| colon + 1 + i);
+    if parse_digest(&stem[..hex_end]).is_err() {
+        return None;
+    }
+    fs::read_to_string(path).ok()
+}
+
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+/// The solve-configuration fingerprint half of a result key.
+///
+/// Every knob that can change the result (or whether the solve
+/// completes cleanly) is hashed: method, simulation shape and seed,
+/// `R_min` override, both budget axes and the closure engine. The
+/// thread count is deliberately **excluded** — the SER engine is
+/// bit-identical for every worker count, so the same circuit solved
+/// with 1 or 8 threads shares one cache entry.
+pub fn config_fingerprint(spec: &JobSpec) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("serve-config-v1");
+    h.write_str(match spec.method {
+        Method::MinObs => "minobs",
+        Method::MinObsWin => "minobswin",
+    });
+    h.write_u64(spec.vectors as u64);
+    h.write_u64(spec.frames as u64);
+    h.write_u64(spec.seed);
+    match spec.r_min {
+        None => h.write_str("rmin-default"),
+        Some(r) => {
+            h.write_str("rmin-override");
+            h.write_i64(r);
+        }
+    }
+    match spec.time_budget {
+        None => h.write_str("time-default"),
+        Some(secs) => {
+            h.write_str("time-budget");
+            h.write_u64(secs.to_bits());
+        }
+    }
+    match spec.max_iters {
+        None => h.write_str("iters-default"),
+        Some(n) => {
+            h.write_str("iters-budget");
+            h.write_u64(n as u64);
+        }
+    }
+    h.write_str(match spec.closure {
+        ClosureChoice::Warm => "closure-warm",
+        ClosureChoice::Fresh => "closure-fresh",
+    });
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::NetlistFormat;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("serve-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stages_round_trip_and_count() {
+        let cache = ResultCache::open(tmpdir("stages")).unwrap();
+        let key = ResultCache::netlist_key("INPUT(a)\n");
+        assert!(key.starts_with("fnv1a-v1:"));
+        assert!(cache.lookup_netlist(&key).is_none());
+        cache.store_netlist(&key, "canonical").unwrap();
+        assert_eq!(cache.lookup_netlist(&key).as_deref(), Some("canonical"));
+
+        let entry = LevelsEntry {
+            levels: 4,
+            gates: 17,
+            registers: 3,
+        };
+        cache.store_levels(&key, entry).unwrap();
+        assert_eq!(cache.lookup_levels(&key), Some(entry));
+
+        let rkey = ResultCache::result_key(&key, 0xabcd);
+        assert!(cache.lookup_result(&rkey).is_none());
+        let meta = Json::obj(vec![("exit", Json::num(0.0))]);
+        cache.store_result(&rkey, "retimed", &meta).unwrap();
+        let (bench, back) = cache.lookup_result(&rkey).unwrap();
+        assert_eq!(bench, "retimed");
+        assert_eq!(back.get("exit").and_then(Json::as_u64), Some(0));
+
+        assert_eq!(cache.counters.netlist_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.counters.netlist_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.counters.result_hits(), 1);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn untagged_keys_are_misses() {
+        let cache = ResultCache::open(tmpdir("tags")).unwrap();
+        // Simulate an entry written by a different digest scheme.
+        fs::write(cache.root().join("netlist/deadbeef.bench"), "old").unwrap();
+        assert!(cache.lookup_netlist("deadbeef").is_none());
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn job_persistence_round_trips() {
+        let cache = ResultCache::open(tmpdir("jobs")).unwrap();
+        let spec = JobSpec::new("job-7", "INPUT(a)\n", NetlistFormat::Bench);
+        cache.persist_job(&spec).unwrap();
+        assert_eq!(cache.scan_jobs(), vec![spec.clone()]);
+        cache.remove_job(&spec.id);
+        assert!(cache.scan_jobs().is_empty());
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let base = JobSpec::new("a", "x", NetlistFormat::Bench);
+        let fp = config_fingerprint(&base);
+        let mut other = base.clone();
+        other.id = "different-id".into();
+        other.threads = 8;
+        assert_eq!(config_fingerprint(&other), fp, "id/threads excluded");
+
+        let mut m = base.clone();
+        m.method = Method::MinObs;
+        assert_ne!(config_fingerprint(&m), fp);
+        let mut r = base.clone();
+        r.r_min = Some(0);
+        assert_ne!(config_fingerprint(&r), fp);
+        let mut t = base.clone();
+        t.time_budget = Some(5.0);
+        assert_ne!(config_fingerprint(&t), fp);
+        let mut c = base.clone();
+        c.closure = ClosureChoice::Fresh;
+        assert_ne!(config_fingerprint(&c), fp);
+    }
+}

@@ -12,8 +12,7 @@
 //!   --report FILE.csv                append a CSV result row
 //!   --vectors K  --frames N          simulation size (default 1024 / 15)
 //!   --seed S                         stimulus seed
-//!   --threads T                      simulation worker threads (default 0 =
-//!                                    SER_THREADS env, else all cores)
+//!   --threads T                      worker threads (see "Thread counts")
 //!   --r-min R                        override the §V-derived R_min bound
 //!                                    (an over-tight bound exits 1: infeasible)
 //!   --no-equiv                       skip the bounded equivalence check
@@ -33,12 +32,13 @@
 //!   before and after retiming (see crates/faultsim).
 //!
 //!   --injections N                   strikes per campaign (default 100000)
-//!   --workers W                      threads (default 0 = all cores)
 //!   --method minobs|minobswin        retiming to score (default minobswin)
 //!   --campaign-seed S                injection sampling seed
 //!   --pulse-width F                  transient width in delay units
 //!   --tolerance F                    relative CI widening (default 0.05)
-//!   --vectors K  --frames N  --seed S  --threads T   as above
+//!   --vectors K  --frames N  --seed S  --threads T   as above (the one
+//!                                    pool size drives both the campaign and
+//!                                    the simulation workers)
 //!
 //! retimer bench-solve [options]
 //!
@@ -49,9 +49,15 @@
 //!
 //!   --out FILE                       output path (default BENCH_solver.json)
 //!   --gates N,N,...                  generated circuit sizes (default 300,1000)
+//!   --tier small|large|xlarge        named size tier: small keeps the default
+//!                                    list, large = 10k gates (the CI-gated
+//!                                    `generated_10k` workload), xlarge = 50k
 //!   --samples-only                   skip the generated circuits
 //!   --time-budget SECS               wall-clock budget per solver run
 //!   --max-iters N                    iteration budget per solver run
+//!   --max-memory BYTES               memory-estimate budget per solver run
+//!                                    (over it: degraded exit 4, never an
+//!                                    abort)
 //!
 //! retimer serve [options]
 //!
@@ -62,8 +68,8 @@
 //!
 //!   --cache DIR                      cache + recovery directory
 //!                                    (default .retimer-cache)
-//!   --workers W                      concurrent solve workers (default 0 =
-//!                                    SER_THREADS env, else all cores)
+//!   --threads T                      concurrent solve workers (see
+//!                                    "Thread counts")
 //!   --queue N                        admission bound on waiting jobs
 //!                                    (default 64; over it: backpressure)
 //!   --time-budget SECS               default per-job wall-clock budget
@@ -79,11 +85,25 @@
 //!
 //!   --out FILE                       output path (default BENCH_ser.json)
 //!   --gates N,N,...                  generated circuit sizes (default 400,1500)
+//!   --tier small|large|xlarge        named size tier, as for bench-solve
 //!   --samples-only                   skip the generated circuits
 //!   --vectors K  --frames N          simulation size (default 1024 / 15)
-//!   --threads T                      threaded column's pool size (default 0 =
-//!                                    SER_THREADS env, else all cores)
+//!   --threads T                      threaded column's pool size (see
+//!                                    "Thread counts")
 //! ```
+//!
+//! # Thread counts
+//!
+//! Every subcommand sizes its worker pool with the one canonical
+//! `--threads N` flag (`--workers` is kept as a hidden alias for
+//! scripts written against older releases). `0` — the default — defers
+//! to the `SER_THREADS` environment variable, then to all available
+//! cores; the resolution rule lives in one place,
+//! `netlist::parallel::resolve_workers`, and every threaded stage
+//! (simulation, ODC passes, fault-injection campaigns, the serve
+//! daemon's solve pool) goes through it.
+//!
+//! # Exit codes
 //!
 //! Exit codes are stable: 0 = success, 1 = infeasible instance,
 //! 2 = I/O or usage error, 3 = internal error (e.g. iteration limit),
@@ -96,7 +116,7 @@ use std::process::ExitCode;
 use faultsim::{run_campaign, CampaignConfig, CrossCheck, DEFAULT_TOLERANCE};
 use minobswin::experiment::{Experiment, MethodResult, RunConfig};
 use minobswin::{SolveBudget, SolveError};
-use netlist::{bench_format, blif, verilog, Circuit, DelayModel, NetlistError};
+use netlist::{bench_format, blif, verilog, Circuit, DelayModel, NetlistError, ParseLimits};
 use retime::apply::apply_retiming;
 use retime::{ElwParams, RetimeGraph};
 use ser_engine::equiv::{check_equivalence, EquivConfig};
@@ -239,7 +259,7 @@ fn parse_args(skip_subcommand: bool) -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed needs an integer")?
             }
-            "--threads" => {
+            "--threads" | "--workers" => {
                 options.threads = args
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -302,17 +322,11 @@ fn parse_args(skip_subcommand: bool) -> Result<Options, String> {
     Ok(options)
 }
 
+/// Reads the input netlist through the unified, streaming front door
+/// (`netlist::read_path`): format sniffed from the extension, default
+/// parse limits.
 fn read_netlist(path: &str) -> Result<Circuit, NetlistError> {
-    match Path::new(path).extension().and_then(|e| e.to_str()) {
-        Some("bench") => bench_format::read_file(path),
-        Some("blif") => blif::read_file(path),
-        Some("v") | Some("verilog") => verilog::read_file(path),
-        _ => Err(NetlistError::Parse {
-            line: 0,
-            col: 0,
-            message: "unknown input format (use .bench, .blif or .v)".into(),
-        }),
-    }
+    netlist::read_path(path, &ParseLimits::default())
 }
 
 fn write_netlist(circuit: &Circuit, path: &str) -> Result<(), NetlistError> {
@@ -437,7 +451,6 @@ fn run(skip_subcommand: bool) -> Result<u8, CliError> {
 struct FaultSimOptions {
     input: String,
     injections: u64,
-    workers: usize,
     method: String,
     campaign_seed: u64,
     pulse_width: f64,
@@ -453,7 +466,6 @@ fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
     let mut options = FaultSimOptions {
         input: String::new(),
         injections: 100_000,
-        workers: 0,
         method: "minobswin".into(),
         campaign_seed: 0x5EED_FA17,
         pulse_width: 0.0,
@@ -470,12 +482,6 @@ fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or("--injections needs a positive integer")?
-            }
-            "--workers" => {
-                options.workers = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--workers needs an integer")?
             }
             "--method" => options.method = args.next().ok_or("--method needs a value")?,
             "--campaign-seed" => {
@@ -514,7 +520,7 @@ fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed needs an integer")?
             }
-            "--threads" => {
+            "--threads" | "--workers" => {
                 options.threads = args
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -523,7 +529,7 @@ fn parse_fault_sim_args() -> Result<FaultSimOptions, String> {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: retimer fault-sim INPUT[.bench|.blif|.v] [--injections N] \
-                     [--workers W] [--method minobs|minobswin] [--campaign-seed S] \
+                     [--method minobs|minobswin] [--campaign-seed S] \
                      [--pulse-width F] [--tolerance F] [--vectors K] [--frames N] \
                      [--seed S] [--threads T]"
                 );
@@ -572,7 +578,7 @@ fn run_fault_sim() -> Result<u8, CliError> {
     };
     let campaign_config = CampaignConfig::new(options.injections)
         .with_seed(options.campaign_seed)
-        .with_workers(options.workers)
+        .with_workers(options.threads)
         .with_pulse_width(options.pulse_width);
 
     let score = |label: &str, c: &Circuit| -> Result<f64, CliError> {
@@ -630,6 +636,7 @@ struct BenchSolveOptions {
     samples_only: bool,
     time_budget: Option<f64>,
     max_iters: Option<usize>,
+    max_memory: Option<usize>,
 }
 
 fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
@@ -640,6 +647,7 @@ fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
         samples_only: false,
         time_budget: None,
         max_iters: None,
+        max_memory: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -652,7 +660,18 @@ fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
                     .collect::<Result<_, _>>()
                     .map_err(|_| format!("invalid --gates list `{list}`"))?;
             }
+            "--tier" => {
+                let tier = args.next().ok_or("--tier needs a name")?;
+                options.gates = bench_harness::tier_gates(&tier, options.gates)?;
+            }
             "--samples-only" => options.samples_only = true,
+            "--max-memory" => {
+                options.max_memory = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--max-memory needs a byte count")?,
+                )
+            }
             "--time-budget" => {
                 let secs: f64 = args
                     .next()
@@ -672,8 +691,9 @@ fn parse_bench_solve_args() -> Result<BenchSolveOptions, String> {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: retimer bench-solve [--out FILE] [--gates N,N,...] [--samples-only] \
-                     [--time-budget SECS] [--max-iters N]"
+                    "usage: retimer bench-solve [--out FILE] [--gates N,N,...] \
+                     [--tier small|large|xlarge] [--samples-only] \
+                     [--time-budget SECS] [--max-iters N] [--max-memory BYTES]"
                 );
                 std::process::exit(0);
             }
@@ -698,7 +718,8 @@ fn run_bench_solve() -> Result<u8, CliError> {
     }
     let budget = minobswin::SolveBudget::new()
         .with_wall_time(options.time_budget.map(std::time::Duration::from_secs_f64))
-        .with_max_iterations(options.max_iters);
+        .with_max_iterations(options.max_iters)
+        .with_max_memory_estimate(options.max_memory);
 
     let mut degraded = false;
     let mut records = Vec::new();
@@ -764,6 +785,10 @@ fn parse_bench_ser_args() -> Result<BenchSerOptions, String> {
                     .collect::<Result<_, _>>()
                     .map_err(|_| format!("invalid --gates list `{list}`"))?;
             }
+            "--tier" => {
+                let tier = args.next().ok_or("--tier needs a name")?;
+                options.gates = bench_harness::tier_gates(&tier, options.gates)?;
+            }
             "--samples-only" => options.samples_only = true,
             "--vectors" => {
                 options.vectors = args
@@ -777,7 +802,7 @@ fn parse_bench_ser_args() -> Result<BenchSerOptions, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--frames needs a positive integer")?
             }
-            "--threads" => {
+            "--threads" | "--workers" => {
                 options.threads = args
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -785,7 +810,8 @@ fn parse_bench_ser_args() -> Result<BenchSerOptions, String> {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: retimer bench-ser [--out FILE] [--gates N,N,...] [--samples-only] \
+                    "usage: retimer bench-ser [--out FILE] [--gates N,N,...] \
+                     [--tier small|large|xlarge] [--samples-only] \
                      [--vectors K] [--frames N] [--threads T]"
                 );
                 std::process::exit(0);
@@ -860,11 +886,11 @@ fn parse_serve_args() -> Result<(serve::ServeConfig, Option<String>), String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--cache" => config.cache_dir = args.next().ok_or("--cache needs a directory")?.into(),
-            "--workers" => {
+            "--threads" | "--workers" => {
                 config.workers = args
                     .next()
                     .and_then(|s| s.parse().ok())
-                    .ok_or("--workers needs a non-negative integer")?
+                    .ok_or("--threads needs a non-negative integer")?
             }
             "--queue" => {
                 config.queue_capacity = args
@@ -891,7 +917,7 @@ fn parse_serve_args() -> Result<(serve::ServeConfig, Option<String>), String> {
             "--socket" => socket = Some(args.next().ok_or("--socket needs a path")?),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: retimer serve [--cache DIR] [--workers W] [--queue N] \
+                    "usage: retimer serve [--cache DIR] [--threads T] [--queue N] \
                      [--time-budget SECS] [--max-iters N] [--socket PATH]"
                 );
                 std::process::exit(0);

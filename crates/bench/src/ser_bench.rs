@@ -12,7 +12,6 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use netlist::generator::GeneratorConfig;
 use netlist::{parallel, samples, Circuit};
 use ser_engine::odc::Observability;
 use ser_engine::scalar::{self, ScalarTrace};
@@ -44,18 +43,12 @@ pub fn sample_instances() -> Vec<BenchSerInstance> {
 }
 
 /// A generated circuit of roughly `gates` gates, shaped like the
-/// Table I twins (deep combinational cones over a register file).
+/// Table I twins (deep combinational cones over a register file);
+/// the same recipe as [`crate::solver_bench::generated_circuit`].
 pub fn generated_instance(gates: usize) -> BenchSerInstance {
-    let circuit = GeneratorConfig::new("bench", gates as u64)
-        .gates(gates)
-        .registers(gates / 5)
-        .inputs(12)
-        .outputs(12)
-        .target_edges(gates * 22 / 10)
-        .build();
     BenchSerInstance {
-        name: format!("generated_{gates}"),
-        circuit,
+        name: format!("generated_{}", crate::gates_label(gates)),
+        circuit: crate::solver_bench::generated_circuit(gates),
     }
 }
 

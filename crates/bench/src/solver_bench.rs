@@ -78,14 +78,25 @@ pub fn sample_instances() -> Vec<BenchInstance> {
 ///
 /// See [`prepare`].
 pub fn generated_instance(gates: usize) -> Result<BenchInstance, SolveError> {
-    let circuit = GeneratorConfig::new("bench", gates as u64)
+    let circuit = generated_circuit(gates);
+    prepare(
+        &format!("generated_{}", crate::gates_label(gates)),
+        &circuit,
+    )
+}
+
+/// The deterministic generated circuit behind [`generated_instance`]
+/// (and the same recipe the SER benchmark and the committed
+/// `generated_10k` fixture use): ~`gates` gates over a `gates/5`
+/// register file at fanin density 2.2.
+pub fn generated_circuit(gates: usize) -> Circuit {
+    GeneratorConfig::new("bench", gates as u64)
         .gates(gates)
         .registers(gates / 5)
         .inputs(12)
         .outputs(12)
         .target_edges(gates * 22 / 10)
-        .build();
-    prepare(&format!("generated_{gates}"), &circuit)
+        .build()
 }
 
 /// One engine's measured solver run.

@@ -193,31 +193,9 @@ pub struct Solution {
     pub stats: SolverStats,
 }
 
-/// Runs MinObsWin (or, with `enable_p2 = false`, Efficient MinObs).
-///
-/// # Errors
-///
-/// * [`SolveError::InfeasibleInitial`] if `initial` violates the
-///   instance (P2 violations are ignored here when `enable_p2` is
-///   off).
-/// * [`SolveError::IterationLimit`] if the safety cap is hit (would
-///   indicate a bug; the cap is far above the paper's `|V|²` bound).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `minobswin::SolverSession::new(graph, problem).initial(r).run()` instead"
-)]
-pub fn solve(
-    graph: &RetimeGraph,
-    problem: &Problem,
-    initial: Retiming,
-    config: SolverConfig,
-) -> Result<Solution, SolveError> {
-    run_solver(graph, problem, initial, config)
-}
-
-/// The solver core behind [`crate::SolverSession::run`] (and the
-/// deprecated [`solve`] wrapper): unsupervised — no budget, no
-/// checkpoints — so the outcome is always complete.
+/// The solver core behind [`crate::SolverSession::run`]:
+/// unsupervised — no budget, no checkpoints — so the outcome is
+/// always complete.
 pub(crate) fn run_solver(
     graph: &RetimeGraph,
     problem: &Problem,

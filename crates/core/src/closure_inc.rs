@@ -212,16 +212,31 @@ impl IncrementalClosure {
         let n = system.len();
         self.n = n;
         let nodes = n + 2;
+        // Right-size up front and reuse every buffer's capacity (and
+        // the adjacency lists' inner allocations) across rebuilds — on
+        // 10k+-vertex networks the warm engine's full-rebuild fallback
+        // would otherwise re-allocate the whole residual each time.
+        let edge_estimate = 2 * (n + system.arc_log().len());
         self.to.clear();
+        self.to.reserve(edge_estimate);
         self.cap.clear();
-        self.adj.clear();
-        self.adj.resize(nodes, Vec::new());
-        self.level = vec![-1; nodes];
-        self.iter = vec![0; nodes];
-        self.src_edge = vec![-1; n];
-        self.snk_edge = vec![-1; n];
-        self.gain = vec![0; n];
-        self.frozen = vec![false; n];
+        self.cap.reserve(edge_estimate);
+        for a in self.adj.iter_mut() {
+            a.clear();
+        }
+        self.adj.resize_with(nodes, Vec::new);
+        self.level.clear();
+        self.level.resize(nodes, -1);
+        self.iter.clear();
+        self.iter.resize(nodes, 0);
+        self.src_edge.clear();
+        self.src_edge.resize(n, -1);
+        self.snk_edge.clear();
+        self.snk_edge.resize(n, -1);
+        self.gain.clear();
+        self.gain.resize(n, 0);
+        self.frozen.clear();
+        self.frozen.resize(n, false);
         self.frozen[0] = true;
         self.total_positive = 0;
         self.flow = 0;

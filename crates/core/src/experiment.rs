@@ -265,19 +265,6 @@ impl CircuitRun {
     }
 }
 
-/// Runs the full experiment on one circuit.
-///
-/// # Errors
-///
-/// See [`Experiment::run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Experiment::new(&circuit).config(cfg).run()` instead"
-)]
-pub fn run_circuit(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, SolveError> {
-    Experiment::new(circuit).config(config.clone()).run()
-}
-
 /// A configured end-to-end experiment over one circuit, built in the
 /// same builder style as [`SolverSession`]:
 ///
@@ -345,6 +332,24 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
         phi: init.phi,
         r_min,
     });
+
+    // The simulation data plane dominates memory at scale (frames ×
+    // gates × vectors); check it against the budget's memory cap
+    // before allocating anything, so an over-budget instance fails
+    // with a structured error instead of an OOM abort.
+    if let Some(cap) = config.budget.max_memory_estimate {
+        let bytes = FrameTrace::data_plane_bytes(circuit, &config.sim);
+        if bytes > cap {
+            return Err(SolveError::Initialization(format!(
+                "simulation data plane needs ~{bytes} bytes \
+                 ({} frames x {} gates x {} vectors), over the \
+                 {cap}-byte memory budget",
+                config.sim.frames,
+                circuit.len(),
+                config.sim.num_vectors
+            )));
+        }
+    }
 
     // One simulation serves everything: retiming does not change the
     // observability of combinational gates (§III.B).
@@ -499,6 +504,27 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SolveError::InfeasibleInitial(_)));
         assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn memory_cap_below_data_plane_fails_structured() {
+        let c = samples::s27_like();
+        // A cap of 1 byte is below any data plane: the run must fail
+        // with a structured initialization error (exit 1), not abort.
+        let budget = SolveBudget::new().with_max_memory_estimate(Some(1));
+        let err = Experiment::new(&c)
+            .config(RunConfig::small().with_budget(budget))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Initialization(_)), "{err}");
+        assert!(err.to_string().contains("memory budget"), "{err}");
+        assert_eq!(err.exit_code(), 1);
+        // A generous cap admits the same run.
+        let budget = SolveBudget::new().with_max_memory_estimate(Some(1 << 30));
+        Experiment::new(&c)
+            .config(RunConfig::small().with_budget(budget))
+            .run()
+            .unwrap();
     }
 
     #[test]

@@ -102,22 +102,23 @@ impl InitConfig {
     }
 }
 
-/// Runs the §V initialization.
-///
-/// # Errors
-///
-/// See [`InitConfig::initialize`].
-#[deprecated(since = "0.2.0", note = "use `InitConfig::initialize(&graph)` instead")]
-pub fn initialize(graph: &RetimeGraph, config: InitConfig) -> Result<InitResult, SolveError> {
-    run_init(graph, config)
-}
-
 fn run_init(graph: &RetimeGraph, config: InitConfig) -> Result<InitResult, SolveError> {
     let relax = |phi: i64| phi + (phi * config.epsilon_percent as i64 + 99) / 100;
+    let trace = std::env::var_os("MINOBSWIN_TRACE").is_some();
+    let t0 = std::time::Instant::now();
 
-    if let Some(sh) = setup_hold::min_period_setup_hold(graph, config.t_setup, config.t_hold) {
+    let sh = setup_hold::min_period_setup_hold(graph, config.t_setup, config.t_hold);
+    if trace {
+        eprintln!(
+            "init: min_period_setup_hold {} in {:.3}s",
+            if sh.is_some() { "found" } else { "none" },
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    if let Some(sh) = sh {
         let phi = relax(sh.phi);
         // Re-derive the retiming at the relaxed period for slack.
+        let t1 = std::time::Instant::now();
         let retiming = setup_hold::feasible_setup_hold(graph, phi, config.t_setup, config.t_hold)
             .unwrap_or(sh.retiming);
         let params = ElwParams {
@@ -125,11 +126,19 @@ fn run_init(graph: &RetimeGraph, config: InitConfig) -> Result<InitResult, Solve
             t_setup: config.t_setup,
             t_hold: config.t_hold,
         };
+        let t2 = std::time::Instant::now();
         let labels = LrLabels::compute(graph, &retiming, params)
             .map_err(|e| SolveError::Initialization(e.to_string()))?;
         let r_min = labels
             .min_short_path(graph, &retiming)
             .unwrap_or_else(|| min_gate_delay(graph));
+        if trace {
+            eprintln!(
+                "init: relaxed re-derive {:.3}s, labels+r_min {:.3}s",
+                t2.duration_since(t1).as_secs_f64(),
+                t2.elapsed().as_secs_f64()
+            );
+        }
         return Ok(InitResult {
             phi,
             r_min,
@@ -142,6 +151,13 @@ fn run_init(graph: &RetimeGraph, config: InitConfig) -> Result<InitResult, Solve
     // Fallback: plain min-period retiming; R_min = minimum gate delay
     // (P2 then never binds beyond what any single gate provides).
     let mp = minperiod::min_period(graph).map_err(|e| SolveError::Initialization(e.to_string()))?;
+    if trace {
+        eprintln!(
+            "init: min_period fallback phi {} in {:.3}s total",
+            mp.phi,
+            t0.elapsed().as_secs_f64()
+        );
+    }
     let phi = relax(mp.phi);
     let retiming = minperiod::feasible_retiming(graph, phi - config.t_setup).unwrap_or(mp.retiming);
     Ok(InitResult {

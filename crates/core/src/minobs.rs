@@ -5,42 +5,19 @@
 //! 9–12 and 19–21 in Algorithm 1, we can reduce the proposed algorithm
 //! into an efficient MinObs algorithm").
 
-use retime::{RetimeGraph, Retiming};
-
-use crate::algorithm::{run_solver, Solution, SolverConfig};
-use crate::problem::Problem;
-use crate::SolveError;
-
-/// Runs the Efficient MinObs baseline (P0 ∧ P1 only; no ELW
-/// constraints).
-///
-/// # Errors
-///
-/// See [`crate::SolverSession::run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `minobswin::SolverSession::new(graph, problem)\
-            .config(SolverConfig::default().with_p2(false)).initial(r).run()` instead"
-)]
-pub fn min_obs(
-    graph: &RetimeGraph,
-    problem: &Problem,
-    initial: Retiming,
-) -> Result<Solution, SolveError> {
-    run_solver(
-        graph,
-        problem,
-        initial,
-        SolverConfig::default().with_p2(false),
-    )
-}
+//!
+//! The baseline is reached through the unified session API —
+//! `SolverSession::new(graph, problem)
+//! .config(SolverConfig::default().with_p2(false)).run()` — and this
+//! module pins it against the exact flow-based min-area optimum.
 
 #[cfg(test)]
 mod tests {
-    #[allow(deprecated)]
-    use super::*;
+    use crate::algorithm::SolverConfig;
+    use crate::problem::Problem;
     use netlist::{samples, DelayModel};
     use retime::{minarea_ref, ElwParams, VertexId};
+    use retime::{RetimeGraph, Retiming};
 
     /// MinObs with uniform observabilities is min-area retiming; the
     /// forest algorithm must match the exact flow-based optimum.

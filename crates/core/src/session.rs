@@ -1,5 +1,6 @@
-//! The builder-style solver facade: one entry point replacing the
-//! loose `initialize`/`solve`/`min_obs` free-function surface.
+//! The builder-style solver facade: the one solver entry point (the
+//! loose `initialize`/`solve`/`min_obs` free functions it replaced
+//! are gone as of 0.3).
 //!
 //! ```
 //! use minobswin::{Problem, SolverSession};
@@ -133,17 +134,15 @@ mod tests {
     }
 
     #[test]
-    fn session_matches_deprecated_solve() {
+    fn explicit_zero_initial_matches_default() {
         let (g, p) = instance(20);
-        let via_session = SolverSession::new(&g, &p)
+        let explicit = SolverSession::new(&g, &p)
             .initial(Retiming::zero(&g))
             .run()
             .unwrap();
-        #[allow(deprecated)]
-        let via_free_fn =
-            crate::algorithm::solve(&g, &p, Retiming::zero(&g), SolverConfig::default()).unwrap();
-        assert_eq!(via_session.retiming, via_free_fn.retiming);
-        assert_eq!(via_session.objective_gain, via_free_fn.objective_gain);
+        let defaulted = SolverSession::new(&g, &p).run().unwrap();
+        assert_eq!(explicit.retiming, defaulted.retiming);
+        assert_eq!(explicit.objective_gain, defaulted.objective_gain);
     }
 
     #[test]

@@ -11,13 +11,15 @@
 //! G14 = NAND(G0, G11)
 //! ```
 
-use std::fs;
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, Cursor};
 use std::path::Path;
 
 use crate::circuit::{Circuit, CircuitBuilder};
 use crate::error::NetlistError;
 use crate::gate::GateKind;
 use crate::limits::ParseLimits;
+use crate::stream::LineSource;
 
 /// Parses a circuit from `.bench` text with [`ParseLimits::default`].
 ///
@@ -52,6 +54,9 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
 
 /// Parses a circuit from `.bench` text under explicit [`ParseLimits`].
 ///
+/// Runs the same streaming core as [`parse_reader`] over the in-memory
+/// text, so the two paths are byte-identical by construction.
+///
 /// # Errors
 ///
 /// As [`parse`]; the limit checks use `limits` instead of the
@@ -61,7 +66,24 @@ pub fn parse_with_limits(
     name: &str,
     limits: &ParseLimits,
 ) -> Result<Circuit, NetlistError> {
-    crate::blif::scan_raw_lines(text, limits)?;
+    parse_reader(Cursor::new(text.as_bytes()), name, limits)
+}
+
+/// Parses a circuit from a `.bench` byte stream under explicit
+/// [`ParseLimits`], without ever materializing the whole input: the
+/// format is strictly line-oriented, so the parser holds one checked
+/// line at a time (see [`crate::stream::parser_peak_bytes`]).
+///
+/// # Errors
+///
+/// As [`parse`], plus [`NetlistError::Io`] for read failures and
+/// invalid UTF-8.
+pub fn parse_reader<R: BufRead>(
+    reader: R,
+    name: &str,
+    limits: &ParseLimits,
+) -> Result<Circuit, NetlistError> {
+    let mut src = LineSource::new(reader, limits);
     let mut builder = CircuitBuilder::new(name);
     let mut gates = 0usize;
     let bump = |gates: &mut usize, line: usize| -> Result<(), NetlistError> {
@@ -76,8 +98,7 @@ pub fn parse_with_limits(
         }
         Ok(())
     };
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = lineno + 1;
+    while let Some((line, raw)) = src.next_line()? {
         let stripped = match raw.find('#') {
             Some(pos) => &raw[..pos],
             None => raw,
@@ -150,12 +171,15 @@ pub fn parse_with_limits(
 /// Propagates I/O errors and the errors of [`parse`].
 pub fn read_file(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
     let path = path.as_ref();
-    let text = fs::read_to_string(path)?;
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("circuit");
-    parse(&text, name)
+    parse_reader(
+        BufReader::new(File::open(path)?),
+        name,
+        &ParseLimits::default(),
+    )
 }
 
 /// Serializes a circuit to `.bench` text.

@@ -8,13 +8,15 @@
 //! that do not match a library gate are rejected with a clear error —
 //! this crate models circuits at the gate level, not as LUT networks.
 
-use std::fs;
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, Cursor};
 use std::path::Path;
 
 use crate::circuit::{Circuit, CircuitBuilder};
 use crate::error::NetlistError;
 use crate::gate::GateKind;
 use crate::limits::ParseLimits;
+use crate::stream::{note_buffer_bytes, LineSource};
 
 /// Parses a circuit from BLIF text with [`ParseLimits::default`].
 ///
@@ -50,88 +52,96 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
     parse_with_limits(text, &ParseLimits::default())
 }
 
-/// Rejects over-long lines and embedded NUL/control bytes before any
-/// directive is interpreted. Shared by every text front end.
-pub(crate) fn scan_raw_lines(text: &str, limits: &ParseLimits) -> Result<(), NetlistError> {
-    for (i, raw) in text.lines().enumerate() {
-        let line = i + 1;
-        if raw.len() > limits.max_line_len {
-            return Err(NetlistError::LimitExceeded {
-                line,
-                what: "line length",
-                value: raw.len(),
-                limit: limits.max_line_len,
-            });
-        }
-        if let Some((pos, c)) = raw
-            .char_indices()
-            .find(|&(_, c)| c.is_control() && c != '\t')
-        {
-            return Err(NetlistError::Parse {
-                line,
-                col: pos + 1,
-                message: format!("control character {:?} in input", c),
-            });
-        }
-    }
-    Ok(())
-}
-
 /// Parses a circuit from BLIF text under explicit [`ParseLimits`].
+///
+/// Runs the same streaming core as [`parse_reader`] over the in-memory
+/// text, so the two paths are byte-identical by construction.
 ///
 /// # Errors
 ///
 /// As [`parse`]; the limit checks use `limits` instead of the
 /// defaults.
 pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Circuit, NetlistError> {
-    scan_raw_lines(text, limits)?;
+    parse_reader(Cursor::new(text.as_bytes()), limits)
+}
 
+/// BLIF logical lines: raw lines with comments stripped and `\`
+/// continuations joined, streamed one at a time with a one-line
+/// push-back (the `.names` cover scanner reads one directive too far).
+struct LogicalLines<R> {
+    src: LineSource<R>,
+    pushed: Option<(usize, String)>,
+}
+
+impl<R: BufRead> LogicalLines<R> {
+    fn new(reader: R, limits: &ParseLimits) -> Self {
+        Self {
+            src: LineSource::new(reader, limits),
+            pushed: None,
+        }
+    }
+
+    fn next_logical(&mut self) -> Result<Option<(usize, String)>, NetlistError> {
+        if let Some(l) = self.pushed.take() {
+            return Ok(Some(l));
+        }
+        let mut pending: Option<(usize, String)> = None;
+        while let Some((line_no, raw)) = self.src.next_line()? {
+            let stripped = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            };
+            let (body, continued) = match stripped.trim_end().strip_suffix('\\') {
+                Some(b) => (b, true),
+                None => (stripped, false),
+            };
+            match pending.take() {
+                Some((start, mut acc)) => {
+                    acc.push(' ');
+                    acc.push_str(body);
+                    note_buffer_bytes(acc.capacity());
+                    if continued {
+                        pending = Some((start, acc));
+                    } else {
+                        return Ok(Some((start, acc)));
+                    }
+                }
+                None => {
+                    if continued {
+                        pending = Some((line_no, body.to_string()));
+                    } else {
+                        return Ok(Some((line_no, body.to_string())));
+                    }
+                }
+            }
+        }
+        Ok(pending) // a trailing continuation at EOF is still a line
+    }
+
+    fn push_back(&mut self, line: (usize, String)) {
+        self.pushed = Some(line);
+    }
+}
+
+/// Parses a circuit from a BLIF byte stream under explicit
+/// [`ParseLimits`], without ever materializing the whole input: the
+/// limit checks run fused into line reading, and transient buffering
+/// is bounded by `limits.max_line_len`, not the stream length (see
+/// [`crate::stream::parser_peak_bytes`]).
+///
+/// # Errors
+///
+/// As [`parse`], plus [`NetlistError::Io`] for read failures and
+/// invalid UTF-8.
+pub fn parse_reader<R: BufRead>(reader: R, limits: &ParseLimits) -> Result<Circuit, NetlistError> {
     let mut name = String::from("blif");
     let mut builder: Option<CircuitBuilder> = None;
     let mut outputs: Vec<String> = Vec::new();
     let mut gates = 0usize;
+    let mut lines = LogicalLines::new(reader, limits);
 
-    // Join continuation lines, remembering original line numbers.
-    let mut logical: Vec<(usize, String)> = Vec::new();
-    let mut pending: Option<(usize, String)> = None;
-    for (i, raw) in text.lines().enumerate() {
-        let line_no = i + 1;
-        let stripped = match raw.find('#') {
-            Some(p) => &raw[..p],
-            None => raw,
-        };
-        let (body, continued) = match stripped.trim_end().strip_suffix('\\') {
-            Some(b) => (b.to_string(), true),
-            None => (stripped.to_string(), false),
-        };
-        match pending.take() {
-            Some((start, mut acc)) => {
-                acc.push(' ');
-                acc.push_str(&body);
-                if continued {
-                    pending = Some((start, acc));
-                } else {
-                    logical.push((start, acc));
-                }
-            }
-            None => {
-                if continued {
-                    pending = Some((line_no, body));
-                } else {
-                    logical.push((line_no, body));
-                }
-            }
-        }
-    }
-    if let Some((start, acc)) = pending {
-        logical.push((start, acc));
-    }
-
-    let mut idx = 0;
-    while idx < logical.len() {
-        let (line, ref content) = logical[idx];
+    while let Some((line, content)) = lines.next_logical()? {
         let tokens: Vec<&str> = content.split_whitespace().collect();
-        idx += 1;
         if tokens.is_empty() {
             continue;
         }
@@ -193,16 +203,16 @@ pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Circuit, Ne
                     });
                 }
                 bump_gates(&mut gates, line, limits)?;
-                // Collect the cover rows that follow.
+                // Collect the cover rows that follow; the first
+                // directive line read too far is pushed back.
                 let mut rows: Vec<(String, char)> = Vec::new();
-                while idx < logical.len() {
-                    let (row_line, ref row) = logical[idx];
-                    let row = row.trim();
+                while let Some((row_line, row_content)) = lines.next_logical()? {
+                    let row = row_content.trim();
                     if row.is_empty() {
-                        idx += 1;
                         continue;
                     }
                     if row.starts_with('.') {
+                        lines.push_back((row_line, row_content));
                         break;
                     }
                     let parts: Vec<&str> = row.split_whitespace().collect();
@@ -226,7 +236,6 @@ pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Circuit, Ne
                         return Err(parse_err(row_line, "pattern width must match fanin count"));
                     }
                     rows.push((pattern, value));
-                    idx += 1;
                 }
                 let kind = classify_cover(&fanins, &rows)
                     .ok_or_else(|| parse_err(line, "cover does not match a library gate"))?;
@@ -379,14 +388,14 @@ fn is_one_hot(rows: &[(String, char)], hot: char) -> bool {
     seen.iter().all(|&s| s)
 }
 
-/// Reads and parses a BLIF file.
+/// Reads and parses a BLIF file, streaming: the file is never
+/// materialized in memory.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors and the errors of [`parse`].
 pub fn read_file(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
-    let text = fs::read_to_string(path)?;
-    parse(&text)
+    parse_reader(BufReader::new(File::open(path)?), &ParseLimits::default())
 }
 
 /// Serializes a circuit to BLIF text.

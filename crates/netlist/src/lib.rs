@@ -8,6 +8,9 @@
 //!   netlist (every cycle must pass through a register),
 //! * [`bench_format`]: the ISCAS89 `.bench` reader/writer,
 //! * [`blif`]: a structural-BLIF reader/writer,
+//! * [`read_path`]/[`NetlistFormat`]: the one front door for reading
+//!   any supported format from disk — extension-sniffed, streaming,
+//!   and limit-checked (see [`stream`]),
 //! * [`generator`]: deterministic synthetic circuits, including *twins*
 //!   of the 21 Table I benchmark circuits,
 //! * [`DelayModel`]: integer gate delays,
@@ -50,9 +53,11 @@ pub mod generator;
 mod levels;
 pub mod limits;
 pub mod parallel;
+mod read;
 pub mod rng;
 pub mod samples;
 pub mod stats;
+pub mod stream;
 pub mod verilog;
 
 pub use circuit::{Circuit, CircuitBuilder};
@@ -61,3 +66,4 @@ pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
 pub use levels::Levelization;
 pub use limits::ParseLimits;
+pub use read::{read_path, NetlistFormat};

@@ -1,0 +1,217 @@
+//! One front door for reading netlists: extension sniffing plus the
+//! streaming parsers.
+//!
+//! Every consumer that used to dispatch on file extensions by hand
+//! (the `retimer` CLI, the serve daemon, tests) goes through
+//! [`read_path`] instead: it sniffs the format from the extension,
+//! opens the file behind a [`BufReader`], and runs the matching
+//! streaming parser under the caller's [`ParseLimits`] — the file is
+//! never materialized in memory (see [`crate::stream`]).
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+use crate::circuit::Circuit;
+use crate::error::NetlistError;
+use crate::limits::ParseLimits;
+use crate::{bench_format, blif, verilog};
+
+/// A supported netlist file format, sniffed from a file extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetlistFormat {
+    /// Structural BLIF (`.blif`).
+    Blif,
+    /// ISCAS89 `.bench`.
+    Bench,
+    /// Structural gate-level Verilog (`.v`, `.verilog`).
+    Verilog,
+}
+
+impl NetlistFormat {
+    /// The canonical format name (`"bench"` / `"blif"` / `"verilog"`),
+    /// used by protocols and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetlistFormat::Blif => "blif",
+            NetlistFormat::Bench => "bench",
+            NetlistFormat::Verilog => "verilog",
+        }
+    }
+
+    /// Parses a canonical name or file extension (`"bench"`, `"blif"`,
+    /// `"v"`, `"verilog"`). `None` for anything else.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "blif" => Some(NetlistFormat::Blif),
+            "bench" => Some(NetlistFormat::Bench),
+            "v" | "verilog" => Some(NetlistFormat::Verilog),
+            _ => None,
+        }
+    }
+
+    /// Sniffs the format from a path's extension (case-insensitive):
+    /// `.blif`, `.bench`, `.v`/`.verilog`. `None` for anything else.
+    pub fn from_path(path: &Path) -> Option<Self> {
+        let ext = path.extension()?.to_str()?.to_ascii_lowercase();
+        Self::from_name(&ext)
+    }
+
+    /// Parses in-memory text as this format under `limits`. `name` is
+    /// used by formats that do not carry a circuit name themselves
+    /// (`.bench`); the others ignore it.
+    ///
+    /// # Errors
+    ///
+    /// The parse and limit errors of the format's parser.
+    pub fn parse_str(
+        self,
+        text: &str,
+        name: &str,
+        limits: &ParseLimits,
+    ) -> Result<Circuit, NetlistError> {
+        match self {
+            NetlistFormat::Blif => blif::parse_with_limits(text, limits),
+            NetlistFormat::Bench => bench_format::parse_with_limits(text, name, limits),
+            NetlistFormat::Verilog => verilog::parse_with_limits(text, limits),
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reads a netlist file of any supported format, streaming, under
+/// explicit [`ParseLimits`].
+///
+/// The format is sniffed from the extension; for `.bench` (which is
+/// anonymous) the file stem becomes the circuit name. Input is read
+/// through the fused streaming scanner, so peak transient memory is
+/// bounded by `limits.max_line_len`, not the file size.
+///
+/// # Errors
+///
+/// * [`NetlistError::Parse`] (line 0) for an unrecognized extension,
+/// * [`NetlistError::Io`] for open/read failures and invalid UTF-8,
+/// * the parse, limit and structural errors of the format's parser.
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let limits = netlist::ParseLimits::default();
+/// let circuit = netlist::read_path("designs/s27.bench", &limits)?;
+/// println!("{} gates", circuit.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_path(path: impl AsRef<Path>, limits: &ParseLimits) -> Result<Circuit, NetlistError> {
+    let path = path.as_ref();
+    let format = NetlistFormat::from_path(path).ok_or_else(|| NetlistError::Parse {
+        line: 0,
+        col: 0,
+        message: "unknown input format (use .bench, .blif or .v)".into(),
+    })?;
+    let reader = BufReader::new(File::open(path)?);
+    match format {
+        NetlistFormat::Blif => blif::parse_reader(reader, limits),
+        NetlistFormat::Bench => {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("circuit");
+            bench_format::parse_reader(reader, name, limits)
+        }
+        NetlistFormat::Verilog => verilog::parse_reader(reader, limits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    #[test]
+    fn sniffs_known_extensions_case_insensitively() {
+        assert_eq!(
+            NetlistFormat::from_path(Path::new("a/b/c.blif")),
+            Some(NetlistFormat::Blif)
+        );
+        assert_eq!(
+            NetlistFormat::from_path(Path::new("x.BENCH")),
+            Some(NetlistFormat::Bench)
+        );
+        assert_eq!(
+            NetlistFormat::from_path(Path::new("x.v")),
+            Some(NetlistFormat::Verilog)
+        );
+        assert_eq!(
+            NetlistFormat::from_path(Path::new("x.Verilog")),
+            Some(NetlistFormat::Verilog)
+        );
+        assert_eq!(NetlistFormat::from_path(Path::new("x.json")), None);
+        assert_eq!(NetlistFormat::from_path(Path::new("noext")), None);
+    }
+
+    #[test]
+    fn read_path_round_trips_every_format() {
+        let c = samples::s27_like();
+        let dir = std::env::temp_dir();
+        let limits = ParseLimits::default();
+
+        let p = dir.join("minobswin_read_path.bench");
+        bench_format::write_file(&c, &p).unwrap();
+        let got = read_path(&p, &limits).unwrap();
+        assert_eq!(got.name(), "minobswin_read_path");
+        assert_eq!(got.num_registers(), c.num_registers());
+        std::fs::remove_file(&p).ok();
+
+        let p = dir.join("minobswin_read_path.blif");
+        blif::write_file(&c, &p).unwrap();
+        let got = read_path(&p, &limits).unwrap();
+        assert_eq!(got.num_registers(), c.num_registers());
+        std::fs::remove_file(&p).ok();
+
+        let p = dir.join("minobswin_read_path.v");
+        verilog::write_file(&c, &p).unwrap();
+        let got = read_path(&p, &limits).unwrap();
+        assert_eq!(got.num_registers(), c.num_registers());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn unknown_extension_is_a_parse_error() {
+        let err = read_path("nope.txt", &ParseLimits::default()).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        let err = read_path("definitely/missing.bench", &ParseLimits::default()).unwrap_err();
+        assert!(matches!(err, NetlistError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn parse_str_dispatches_by_format() {
+        let c = samples::s27_like();
+        let limits = ParseLimits::default();
+        let bench = bench_format::write(&c);
+        let got = NetlistFormat::Bench
+            .parse_str(&bench, "s27", &limits)
+            .unwrap();
+        assert_eq!(got.name(), "s27");
+        let blif_text = blif::write(&c);
+        let got = NetlistFormat::Blif
+            .parse_str(&blif_text, "ignored", &limits)
+            .unwrap();
+        assert_eq!(got.num_registers(), c.num_registers());
+        let v = verilog::write(&c);
+        let got = NetlistFormat::Verilog
+            .parse_str(&v, "ignored", &limits)
+            .unwrap();
+        assert_eq!(got.num_registers(), c.num_registers());
+    }
+}

@@ -23,13 +23,16 @@
 //! (A `clk` port is tolerated and ignored; registers are implicitly
 //! clocked by the single global clock, as everywhere in this suite.)
 
-use std::fs;
+use std::collections::VecDeque;
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, Cursor};
 use std::path::Path;
 
 use crate::circuit::{Circuit, CircuitBuilder};
 use crate::error::NetlistError;
 use crate::gate::GateKind;
 use crate::limits::ParseLimits;
+use crate::stream::{note_buffer_bytes, LineSource};
 
 /// Parses a circuit from structural Verilog text with
 /// [`ParseLimits::default`].
@@ -67,13 +70,30 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
 /// Parses a circuit from structural Verilog text under explicit
 /// [`ParseLimits`].
 ///
+/// Runs the same streaming core as [`parse_reader`] over the in-memory
+/// text, so the two paths are byte-identical by construction.
+///
 /// # Errors
 ///
 /// As [`parse`]; the limit checks use `limits` instead of the
 /// defaults.
 pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Circuit, NetlistError> {
-    crate::blif::scan_raw_lines(text, limits)?;
-    let cleaned = strip_comments(text);
+    parse_reader(Cursor::new(text.as_bytes()), limits)
+}
+
+/// Parses a circuit from a structural-Verilog byte stream under
+/// explicit [`ParseLimits`], without ever materializing the whole
+/// input: comment stripping and `;`-statement splitting run
+/// incrementally over checked lines, so transient buffering is bounded
+/// by the longest single statement (see
+/// [`crate::stream::parser_peak_bytes`]).
+///
+/// # Errors
+///
+/// As [`parse`], plus [`NetlistError::Io`] for read failures and
+/// invalid UTF-8.
+pub fn parse_reader<R: BufRead>(reader: R, limits: &ParseLimits) -> Result<Circuit, NetlistError> {
+    let mut stmts = Statements::new(LineSource::new(reader, limits));
     let mut builder: Option<CircuitBuilder> = None;
     let mut outputs: Vec<String> = Vec::new();
     let mut inputs: Vec<(usize, String)> = Vec::new();
@@ -94,7 +114,7 @@ pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Circuit, Ne
     };
     let clock_names = ["clk", "clock", "CLK"];
 
-    for (line_no, stmt) in statements(&cleaned) {
+    while let Some((line_no, stmt)) = stmts.next_statement()? {
         let tokens: Vec<&str> = stmt.split_whitespace().collect();
         if tokens.is_empty() {
             continue;
@@ -213,13 +233,14 @@ fn at_line(err: NetlistError, line: usize) -> NetlistError {
     }
 }
 
-/// Reads and parses a Verilog file.
+/// Reads and parses a Verilog file, streaming: the file is never
+/// materialized in memory.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors and the errors of [`parse`].
 pub fn read_file(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
-    parse(&fs::read_to_string(path)?)
+    parse_reader(BufReader::new(File::open(path)?), &ParseLimits::default())
 }
 
 /// Serializes a circuit to the structural Verilog subset.
@@ -341,75 +362,105 @@ pub fn write_file(circuit: &Circuit, path: impl AsRef<Path>) -> Result<(), Netli
     Ok(())
 }
 
-fn strip_comments(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    let mut chars = text.chars().peekable();
-    let mut in_block = false;
-    let mut in_line = false;
-    while let Some(c) = chars.next() {
-        if in_block {
-            if c == '*' && chars.peek() == Some(&'/') {
-                chars.next();
-                in_block = false;
-            }
-            if c == '\n' {
-                out.push('\n');
-            }
-            continue;
-        }
-        if in_line {
-            if c == '\n' {
-                in_line = false;
-                out.push('\n');
-            }
-            continue;
-        }
-        if c == '/' {
-            match chars.peek() {
-                Some('/') => {
-                    in_line = true;
-                    continue;
-                }
-                Some('*') => {
-                    chars.next();
-                    in_block = true;
-                    continue;
-                }
-                _ => {}
-            }
-        }
-        out.push(c);
-    }
-    out
+/// Streaming `;`-statement splitter over checked input lines, with
+/// comments stripped incrementally (`/* */` state carries across
+/// lines). `module ... ;` headers keep their parenthesized port list
+/// inside one statement. Line numbering replicates the historical
+/// whole-text scanner: a statement is stamped with the line counter's
+/// value at the previous `;`, newlines included in the accumulator.
+struct Statements<R> {
+    src: LineSource<R>,
+    current: String,
+    ready: VecDeque<(usize, String)>,
+    start_line: usize,
+    line: usize,
+    in_block: bool,
+    done: bool,
+    tail_emitted: bool,
 }
 
-/// Splits on `;`, tracking line numbers; `module ... ;` headers keep
-/// their parenthesized port list inside one statement.
-fn statements(text: &str) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    let mut current = String::new();
-    let mut start_line = 1;
-    let mut line = 1;
-    for c in text.chars() {
-        if c == '\n' {
-            line += 1;
+impl<R: BufRead> Statements<R> {
+    fn new(src: LineSource<R>) -> Self {
+        Self {
+            src,
+            current: String::new(),
+            ready: VecDeque::new(),
+            start_line: 1,
+            line: 1,
+            in_block: false,
+            done: false,
+            tail_emitted: false,
         }
-        if c == ';' {
-            let stmt = current.trim().to_string();
-            if !stmt.is_empty() {
-                out.push((start_line, stmt));
+    }
+
+    fn next_statement(&mut self) -> Result<Option<(usize, String)>, NetlistError> {
+        loop {
+            if let Some(s) = self.ready.pop_front() {
+                return Ok(Some(s));
             }
-            current.clear();
-            start_line = line;
-        } else {
-            current.push(c);
+            if self.done {
+                if self.tail_emitted {
+                    return Ok(None);
+                }
+                self.tail_emitted = true;
+                let tail = self.current.trim().to_string();
+                self.current = String::new();
+                if tail.is_empty() {
+                    return Ok(None);
+                }
+                return Ok(Some((self.start_line, tail))); // e.g. `endmodule`
+            }
+            let raw = match self.src.next_line()? {
+                None => {
+                    self.done = true;
+                    continue;
+                }
+                Some((_, raw)) => raw.to_string(),
+            };
+            self.accumulate(raw);
         }
     }
-    let tail = current.trim().to_string();
-    if !tail.is_empty() {
-        out.push((start_line, tail)); // e.g. `endmodule`
+
+    /// Feeds one comment-stripped input line (plus its newline) into
+    /// the statement accumulator.
+    fn accumulate(&mut self, raw: String) {
+        let mut chars = raw.chars().peekable();
+        while let Some(c) = chars.next() {
+            if self.in_block {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    self.in_block = false;
+                }
+                continue;
+            }
+            if c == '/' {
+                match chars.peek() {
+                    Some('/') => break, // line comment: drop the rest
+                    Some('*') => {
+                        chars.next();
+                        self.in_block = true;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if c == ';' {
+                let stmt = self.current.trim().to_string();
+                if !stmt.is_empty() {
+                    self.ready.push_back((self.start_line, stmt));
+                }
+                self.current.clear();
+                self.start_line = self.line;
+            } else {
+                self.current.push(c);
+            }
+        }
+        // The line's terminator: counts a line and joins statements
+        // spanning physical lines, exactly like the whole-text scanner.
+        self.line += 1;
+        self.current.push('\n');
+        note_buffer_bytes(self.current.capacity());
     }
-    out
 }
 
 fn decl_names(rest: &str, line: usize) -> Result<Vec<String>, NetlistError> {

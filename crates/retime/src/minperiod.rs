@@ -6,7 +6,9 @@
 
 use crate::error::RetimeError;
 use crate::graph::{RetimeGraph, Retiming, VertexId};
-use crate::timing::{clock_period, is_combinational_edge, zero_weight_topo, ArrivalTimes};
+use crate::timing::{
+    clock_period, is_combinational_edge, zero_weight_topo, ArrivalScratch, ArrivalTimes,
+};
 
 /// Runs the FEAS relaxation: starting from `r = 0`, repeatedly
 /// increments `r(v)` for every vertex whose arrival time exceeds `phi`.
@@ -17,14 +19,14 @@ use crate::timing::{clock_period, is_combinational_edge, zero_weight_topo, Arriv
 pub fn feasible_retiming(graph: &RetimeGraph, phi: i64) -> Option<Retiming> {
     let mut r = Retiming::zero(graph);
     let n = graph.num_vertices();
+    let mut scratch = ArrivalScratch::new();
     for _ in 0..n {
-        let order = zero_weight_topo(graph, &r).ok()?;
-        let arrivals = ArrivalTimes::compute_with_order(graph, &r, &order);
-        if arrivals.clock_period() <= phi {
+        let period = scratch.compute(graph, &r)?;
+        if period <= phi {
             break;
         }
         for v in graph.vertices() {
-            if arrivals.get(v) > phi {
+            if scratch.arrival(v) > phi {
                 r.add(v, 1);
             }
         }

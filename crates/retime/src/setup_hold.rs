@@ -20,7 +20,7 @@
 
 use crate::graph::{RetimeGraph, Retiming, VertexId};
 use crate::labels::{ElwParams, LrLabels};
-use crate::timing::{zero_weight_topo, ArrivalTimes};
+use crate::timing::{zero_weight_topo, ArrivalScratch, ArrivalTimes};
 
 /// Result of [`min_period_setup_hold`].
 #[derive(Debug, Clone, PartialEq)]
@@ -40,33 +40,82 @@ pub fn feasible_setup_hold(
     t_setup: i64,
     t_hold: i64,
 ) -> Option<Retiming> {
+    feasible_setup_hold_capped(graph, phi, t_setup, t_hold, graph.num_vertices() + 2)
+}
+
+/// [`feasible_setup_hold`] with an explicit cap on *consecutive* setup
+/// FEAS iterations. A `Some` answer is sound at any cap (the retiming
+/// is fully verified and independent of the cap); a `None` under a cap
+/// below `|V| + 2` may be premature. [`min_period_setup_hold`] exploits
+/// this asymmetry: it scans with a small cap — deep-infeasible probes
+/// then cost tens of iterations instead of `|V|` — and re-confirms the
+/// final floor at the full Bellman–Ford bound, so the minimized period
+/// is provably the same as an all-full-cap search.
+fn feasible_setup_hold_capped(
+    graph: &RetimeGraph,
+    phi: i64,
+    t_setup: i64,
+    t_hold: i64,
+    feas_cap: usize,
+) -> Option<Retiming> {
+    let trace = std::env::var_os("MINOBSWIN_TRACE").is_some();
+    let t0 = std::time::Instant::now();
+    let mut feas_steps = 0u64;
+    let mut hold_repairs = 0u64;
+    let report = |outcome: &str, feas: u64, holds: u64| {
+        if trace {
+            eprintln!(
+                "  feasible_setup_hold phi {phi}: {outcome} after {feas} FEAS + {holds} hold repairs in {:.3}s",
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    };
     let mut r = Retiming::zero(graph);
     let params = ElwParams {
         phi,
         t_setup,
         t_hold,
     };
-    let budget = 4 * graph.num_vertices() + 16;
+    let n = graph.num_vertices();
+    let budget = 4 * n + 16;
+    // FEAS converges within |V| iterations whenever the period is
+    // achievable from the current retiming (the Bellman–Ford bound of
+    // Leiserson & Saxe), so a run of more than |V| + 1 *consecutive*
+    // setup steps that never reaches the period is a proof of
+    // non-convergence. Bailing out then — instead of burning the whole
+    // 4|V| budget — cannot flip a feasible probe, and it is what keeps
+    // the infeasible probes of the binary search affordable at 10k+
+    // gates.
+    let mut consecutive_feas = 0usize;
+    let mut scratch = ArrivalScratch::new();
     for _ in 0..budget {
-        let order = zero_weight_topo(graph, &r).ok()?;
-        let arrivals = ArrivalTimes::compute_with_order(graph, &r, &order);
-        if arrivals.clock_period() > phi - t_setup {
+        let period = scratch.compute(graph, &r)?;
+        if period > phi - t_setup {
             // FEAS step for setup.
+            feas_steps += 1;
+            consecutive_feas += 1;
+            if consecutive_feas > feas_cap {
+                report("feas-cap", feas_steps, hold_repairs);
+                return None;
+            }
             let mut moved = false;
             for v in graph.vertices() {
-                if arrivals.get(v) > phi - t_setup {
+                if scratch.arrival(v) > phi - t_setup {
                     r.add(v, 1);
                     moved = true;
                 }
             }
             if !moved {
+                report("stuck", feas_steps, hold_repairs);
                 return None;
             }
             continue;
         }
-        let labels = LrLabels::compute_with_order(graph, &r, params, &order);
+        consecutive_feas = 0;
+        let labels = LrLabels::compute_with_order(graph, &r, params, scratch.order());
         match find_hold_violation(graph, &r, &labels, t_hold) {
             Some((tail, head)) => {
+                hold_repairs += 1;
                 // Two symmetric repairs: push the launching register
                 // backward over the tail (lengthens the path at its
                 // start), or push the terminating register forward
@@ -77,6 +126,7 @@ pub fn feasible_setup_hold(
                 } else {
                     let z = labels.rt(head);
                     if !push_terminating_register_forward(graph, &mut r, z) {
+                        report("unrepairable", feas_steps, hold_repairs);
                         return None;
                     }
                 }
@@ -84,12 +134,15 @@ pub fn feasible_setup_hold(
             None => {
                 // Fixpoint: verify everything before returning.
                 if graph.check_nonnegative(&r).is_ok() {
+                    report("feasible", feas_steps, hold_repairs);
                     return Some(r);
                 }
+                report("nonneg-fail", feas_steps, hold_repairs);
                 return None;
             }
         }
     }
+    report("budget", feas_steps, hold_repairs);
     None
 }
 
@@ -223,35 +276,67 @@ pub fn meets_setup_hold(
 /// (binary search over [`feasible_setup_hold`]). Returns `None` when no
 /// retiming is found even at a generous period — the paper's
 /// "no valid retiming under setup and hold" outcome.
+///
+/// The search runs in two tiers. The scan tier probes with a small
+/// FEAS cap (feasible probes converge almost immediately in practice,
+/// so their `Some` answers — which are cap-independent — are unharmed,
+/// while deep-infeasible probes stop after tens of iterations instead
+/// of `|V|`). The confirm tier then re-probes one step below the scan
+/// optimum at the full `|V| + 2` Bellman–Ford bound: if that is
+/// infeasible the scan answer is proven optimal, and if the scan cap
+/// turned out to be truncating a genuinely feasible probe, the search
+/// resumes below it. The result is therefore identical to an
+/// all-full-cap search, at a fraction of the cost on 10k+-gate graphs.
 pub fn min_period_setup_hold(
     graph: &RetimeGraph,
     t_setup: i64,
     t_hold: i64,
 ) -> Option<SetupHoldResult> {
+    let n = graph.num_vertices();
+    let full_cap = n + 2;
+    let quick_cap = full_cap.min(64);
     let max_delay: i64 = graph.vertices().map(|v| graph.delay(v)).max().unwrap_or(0);
     let total_delay: i64 = graph.vertices().map(|v| graph.delay(v)).sum();
     let hi_bound = (total_delay + t_setup).max(1);
-    let mut lo = (max_delay + t_setup).max(t_hold);
-    let mut hi = hi_bound;
-    // Establish an upper-bound solution first.
-    let mut best = feasible_setup_hold(graph, hi, t_setup, t_hold).map(|r| SetupHoldResult {
-        phi: hi,
-        retiming: r,
-    })?;
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        match feasible_setup_hold(graph, mid, t_setup, t_hold) {
+    let floor = (max_delay + t_setup).max(t_hold);
+    // Establish an upper-bound solution first, at full rigor.
+    let mut best =
+        feasible_setup_hold(graph, hi_bound, t_setup, t_hold).map(|r| SetupHoldResult {
+            phi: hi_bound,
+            retiming: r,
+        })?;
+    loop {
+        // Scan tier: bisect below the current best with the quick cap.
+        let mut lo = floor;
+        let mut hi = best.phi;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match feasible_setup_hold_capped(graph, mid, t_setup, t_hold, quick_cap) {
+                Some(r) => {
+                    best = SetupHoldResult {
+                        phi: mid,
+                        retiming: r,
+                    };
+                    hi = mid;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        // Confirm tier: a quick-cap `None` may be premature, so prove
+        // the floor below the scan optimum at the full bound.
+        if quick_cap >= full_cap || best.phi <= floor {
+            return Some(best);
+        }
+        match feasible_setup_hold(graph, best.phi - 1, t_setup, t_hold) {
+            None => return Some(best),
             Some(r) => {
                 best = SetupHoldResult {
-                    phi: mid,
+                    phi: best.phi - 1,
                     retiming: r,
                 };
-                hi = mid;
             }
-            None => lo = mid + 1,
         }
     }
-    Some(best)
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
-//! Flat signature storage: one contiguous `frames × slots × words`
-//! buffer replacing the O(frames × gates) individual [`Signature`]
-//! heap allocations of the original engine.
+//! Flat signature storage: a `frames × slots × words` buffer replacing
+//! the O(frames × gates) individual [`Signature`] heap allocations of
+//! the original engine.
 //!
 //! # Layout invariant
 //!
@@ -9,6 +9,21 @@
 //! ```text
 //! offset(frame, slot) = (frame * slots + slot) * words_per_sig
 //! ```
+//!
+//! Physically the words are allocated **one chunk per frame** rather
+//! than as a single contiguous block: at 50k gates × 2048 vectors × 15
+//! frames the flat buffer is ~200 MB, and a monolithic allocation of
+//! that size is both fragile (one contiguous region or abort) and
+//! wasteful to grow. No engine code ever indexes across a frame
+//! boundary — the simulator writes through [`frame_mut`]
+//! (register carry lives in a separate state buffer) and the ODC pass
+//! reads whole frames — so chunking is invisible behind the accessors.
+//! [`SignatureArena::offset`] remains the *logical* flat offset;
+//! [`SignatureArena::required_bytes`] and
+//! [`SignatureArena::footprint_bytes`] make the footprint a number the
+//! solve budget can check before allocation instead of an OOM abort.
+//!
+//! [`frame_mut`]: SignatureArena::frame_mut
 //!
 //! * `frame` is the recorded time frame (0-based),
 //! * `slot` is a gate's position in the circuit's
@@ -107,11 +122,11 @@ impl PartialEq<SigRef<'_>> for Signature {
     }
 }
 
-/// The flat `frames × slots × words` signature buffer. See the module
-/// docs for the layout invariant.
+/// The `frames × slots × words` signature buffer, allocated one chunk
+/// per frame. See the module docs for the layout invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignatureArena {
-    words: Vec<u64>,
+    chunks: Vec<Vec<u64>>,
     frames: usize,
     slots: usize,
     wps: usize,
@@ -132,11 +147,26 @@ impl SignatureArena {
         assert!(frames > 0 && slots > 0, "arena dimensions must be positive");
         let wps = bits / 64;
         Self {
-            words: vec![0u64; frames * slots * wps],
+            chunks: (0..frames).map(|_| vec![0u64; slots * wps]).collect(),
             frames,
             slots,
             wps,
         }
+    }
+
+    /// Bytes an arena of these dimensions will occupy (saturating) —
+    /// the planning estimate the solve budget checks *before* the
+    /// allocation happens.
+    pub fn required_bytes(frames: usize, slots: usize, bits: usize) -> usize {
+        frames
+            .saturating_mul(slots)
+            .saturating_mul(bits / 64)
+            .saturating_mul(std::mem::size_of::<u64>())
+    }
+
+    /// Bytes of signature payload this arena holds.
+    pub fn footprint_bytes(&self) -> usize {
+        Self::required_bytes(self.frames, self.slots, self.wps * 64)
     }
 
     /// Number of frames.
@@ -159,8 +189,9 @@ impl SignatureArena {
         self.wps * 64
     }
 
-    /// Word offset of `(frame, slot)` — the layout invariant in
-    /// executable form.
+    /// Logical word offset of `(frame, slot)` — the layout invariant
+    /// in executable form. (Within the per-frame chunk, the word
+    /// offset is `offset(frame, slot) - offset(frame, 0)`.)
     ///
     /// # Panics
     ///
@@ -170,40 +201,41 @@ impl SignatureArena {
         (frame * self.slots + slot) * self.wps
     }
 
-    /// Inverse of [`SignatureArena::offset`]: maps a word offset back
-    /// to `(frame, slot)`.
+    /// Inverse of [`SignatureArena::offset`]: maps a logical word
+    /// offset back to `(frame, slot)`.
     ///
     /// # Panics
     ///
     /// Panics if `offset` is out of range.
     pub fn locate(&self, offset: usize) -> (usize, usize) {
-        assert!(offset < self.words.len(), "offset out of range");
+        assert!(
+            offset < self.frames * self.slots * self.wps,
+            "offset out of range"
+        );
         let sig = offset / self.wps;
         (sig / self.slots, sig % self.slots)
     }
 
     /// Read-only view of one signature.
     pub fn sig(&self, frame: usize, slot: usize) -> SigRef<'_> {
-        let o = self.offset(frame, slot);
-        SigRef::new(&self.words[o..o + self.wps])
+        let o = slot * self.wps;
+        SigRef::new(&self.chunks[frame][o..o + self.wps])
     }
 
     /// Mutable words of one signature.
     pub fn sig_mut(&mut self, frame: usize, slot: usize) -> &mut [u64] {
-        let o = self.offset(frame, slot);
-        &mut self.words[o..o + self.wps]
+        let o = slot * self.wps;
+        &mut self.chunks[frame][o..o + self.wps]
     }
 
     /// All words of one frame (`slots × words_per_sig`), slot-major.
     pub fn frame(&self, frame: usize) -> &[u64] {
-        let o = self.offset(frame, 0);
-        &self.words[o..o + self.slots * self.wps]
+        &self.chunks[frame]
     }
 
     /// Mutable words of one frame.
     pub fn frame_mut(&mut self, frame: usize) -> &mut [u64] {
-        let o = self.offset(frame, 0);
-        &mut self.words[o..o + self.slots * self.wps]
+        &mut self.chunks[frame]
     }
 }
 
@@ -279,5 +311,29 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn locate_out_of_range_panics() {
         SignatureArena::new(1, 1, 64).locate(1);
+    }
+
+    #[test]
+    fn footprint_accounting_matches_dimensions() {
+        let a = SignatureArena::new(3, 5, 192); // wps = 3
+        assert_eq!(a.footprint_bytes(), 3 * 5 * 3 * 8);
+        assert_eq!(
+            SignatureArena::required_bytes(3, 5, 192),
+            a.footprint_bytes()
+        );
+        // Saturates instead of overflowing on absurd dimensions.
+        assert_eq!(
+            SignatureArena::required_bytes(usize::MAX, usize::MAX, 128),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn frames_are_independent_chunks() {
+        let mut a = SignatureArena::new(2, 2, 64);
+        a.frame_mut(0).fill(u64::MAX);
+        assert!(a.frame(1).iter().all(|&w| w == 0), "frame 1 untouched");
+        assert_eq!(a.frame(0).len(), 2);
+        assert_eq!(a.frame(1).len(), 2);
     }
 }

@@ -22,19 +22,32 @@
 //! image of the forward simulator's `split_at_mut` scheme). The
 //! sensitivity product is fused: instead of materializing a flipped
 //! signature and a faulty re-evaluation per (gate, fanout) pair, the
-//! inner loop evaluates one faulty word at a time via
-//! [`eval_gate_word`] and ORs `odc(h) & (faulty ^ value(h))` straight
-//! into the accumulator — zero allocations per frame.
+//! fast path ORs `odc(h) & (faulty ^ value(h))` into the accumulator a
+//! whole cache block at a time via the batched `accumulate_sensitivity`
+//! kernel (per-kind word loops, flips as XOR masks), keeping each
+//! accumulator block hot across all of a gate's fanouts — zero
+//! allocations per frame. The word-at-a-time `eval_gate_word`
+//! evaluation survives as the audit oracle.
 //!
 //! Determinism, the sampled audits, the circuit breaker and the scalar
-//! fallback follow the forward engine (see [`crate::sim`]); trips land
-//! in [`Observability::engine`], merged with the trace's own report.
+//! fallback follow the forward engine (see [`crate::sim`]) — with one
+//! strengthening: because the blocked kernel differs structurally from
+//! the oracle even without threads, one level per frame is audited in
+//! *every* run, not just multi-threaded ones. Trips land in
+//! [`Observability::engine`], merged with the trace's own report.
 
 use netlist::{parallel, Circuit, GateId, GateKind, Levelization};
 
 use crate::scalar::ScalarTrace;
-use crate::signature::{eval_gate_word, Signature};
+use crate::signature::{accumulate_sensitivity, eval_gate_word, Signature};
 use crate::sim::{eval_slots, EngineReport, EvalPlan, FrameTrace, SimConfig};
+
+/// Words per cache block of the blocked ODC accumulation: 16 × 8 =
+/// 128 bytes of accumulator stay register/L1-resident across all of a
+/// gate's fanouts instead of streaming the whole row once per fanout.
+/// With ≤ 1024 vectors a row is a single block and the blocked path
+/// degenerates to the plain row loop.
+const ODC_BLOCK_WORDS: usize = 16;
 
 /// Magic seed that makes a multi-threaded ODC pass deliberately
 /// corrupt one worker's output in the audited level of the first
@@ -101,8 +114,79 @@ fn build_odc_plan(circuit: &Circuit, levels: &Levelization) -> Vec<OdcSlot> {
         .collect()
 }
 
+/// The fast path: accumulates the ODC masks of slots
+/// `lo..lo + out.len()/wps` into `out`, cache-blocked over the word
+/// dimension and using the batched [`accumulate_sensitivity`] kernel
+/// (gate-kind dispatch hoisted out of the word loop, flips as XOR
+/// masks). Bit-identical to [`odc_slots_serial`] — which stays the
+/// audit oracle — because every operation is an exact bitwise function
+/// with no cross-word dependencies.
+#[allow(clippy::too_many_arguments)]
+fn odc_slots_blocked<'a>(
+    plan: &[OdcSlot],
+    wps: usize,
+    values: &'a [u64],
+    odc_right: &[u64],
+    right_base: usize,
+    next_reg: &[u64],
+    last_frame: bool,
+    out: &mut [u64],
+    lo: usize,
+    pairs: &mut Vec<(&'a [u64], bool)>,
+) {
+    let slots = out.len() / wps;
+    for i in 0..slots {
+        let s = lo + i;
+        let acc = &mut out[i * wps..(i + 1) * wps];
+        let init = if plan[s].start_ones { u64::MAX } else { 0 };
+        let mut b0 = 0;
+        while b0 < wps {
+            let b1 = (b0 + ODC_BLOCK_WORDS).min(wps);
+            let ab = &mut acc[b0..b1];
+            ab.fill(init);
+            for fo in plan[s].fanouts.iter() {
+                match fo {
+                    OdcFanout::Reg(ri) => {
+                        if last_frame {
+                            ab.fill(u64::MAX);
+                        } else {
+                            let nr = &next_reg[ri * wps + b0..ri * wps + b1];
+                            for (a, b) in ab.iter_mut().zip(nr) {
+                                *a |= b;
+                            }
+                        }
+                    }
+                    OdcFanout::Comb {
+                        h_slot,
+                        kind,
+                        fanins,
+                    } => {
+                        pairs.clear();
+                        for &(fs, flip) in fanins.iter() {
+                            let o = fs as usize * wps;
+                            pairs.push((&values[o + b0..o + b1], flip));
+                        }
+                        let hs = *h_slot as usize;
+                        let ho = (hs - right_base) * wps;
+                        accumulate_sensitivity(
+                            *kind,
+                            pairs,
+                            &odc_right[ho + b0..ho + b1],
+                            &values[hs * wps + b0..hs * wps + b1],
+                            ab,
+                        );
+                    }
+                }
+            }
+            b0 = b1;
+        }
+    }
+}
+
 /// Serially accumulates the ODC masks of slots `lo..lo + out.len()/wps`
-/// into `out`. `odc_right` holds the finalized masks of slots
+/// into `out` — the word-at-a-time reference implementation behind the
+/// sampled audits and debug differential checks of the blocked fast
+/// path. `odc_right` holds the finalized masks of slots
 /// `right_base..`, `values` the nominal signatures of the frame, and
 /// `next_reg` the register ODCs of the following frame.
 #[allow(clippy::too_many_arguments)]
@@ -183,7 +267,7 @@ fn odc_pass(
     let workers = parallel::clamp_workers(workers, n);
     if workers <= 1 {
         let mut pairs = Vec::with_capacity(8);
-        odc_slots_serial(
+        odc_slots_blocked(
             plan, wps, values, right, hi, next_reg, last_frame, cur, lo, &mut pairs,
         );
         if sabotage {
@@ -197,7 +281,7 @@ fn odc_pass(
         for (ci, chunk) in cur.chunks_mut(chunk_slots * wps).enumerate() {
             scope.spawn(move || {
                 let mut pairs = Vec::with_capacity(8);
-                odc_slots_serial(
+                odc_slots_blocked(
                     plan,
                     wps,
                     values,
@@ -313,11 +397,14 @@ impl Observability {
                     threads,
                     sab_pass == Some(l),
                 );
+                // The blocked fast path differs structurally from the
+                // word-oracle even single-threaded, so the debug
+                // differential runs regardless of thread count.
                 #[cfg(debug_assertions)]
-                if threads > 1 && sab_pass.is_none() {
+                if sab_pass.is_none() {
                     debug_assert!(
                         verify_pass(&plan, wps, values, &odc, lr.start, lr.end, &next_reg, last),
-                        "parallel ODC level {l} diverged from serial evaluation"
+                        "blocked ODC level {l} diverged from serial evaluation"
                     );
                 }
             }
@@ -334,13 +421,17 @@ impl Observability {
                 sab_pass == Some(0),
             );
             #[cfg(debug_assertions)]
-            if threads > 1 && sab_pass.is_none() {
+            if sab_pass.is_none() {
                 debug_assert!(
                     verify_pass(&plan, wps, values, &odc, 0, s0, &next_reg, last),
-                    "parallel ODC source region diverged from serial evaluation"
+                    "blocked ODC source region diverged from serial evaluation"
                 );
             }
-            if threads > 1 {
+            // One sampled level per frame is always re-derived with
+            // the word-oracle — the circuit breaker covers the blocked
+            // kernel itself, not just worker divergence, so it runs
+            // even single-threaded.
+            {
                 engine.audited_layers += 1;
                 let (alo, ahi) = if audit == 0 {
                     (0, s0)

@@ -350,6 +350,116 @@ pub(crate) fn eval_gate_word(kind: GateKind, fanins: &[(&[u64], bool)], w: usize
     }
 }
 
+/// All-ones when `flip` is set, zero otherwise — turns the per-fanin
+/// complement of the ODC sensitivity evaluation into a branch-free XOR
+/// mask that loops over whole signature rows can hoist.
+#[inline]
+fn flip_mask(flip: bool) -> u64 {
+    (flip as u64).wrapping_neg()
+}
+
+/// Accumulates one fanout's ODC sensitivity contribution over a whole
+/// signature row:
+///
+/// ```text
+/// acc[w] |= h_odc[w] & (faulty(w) ^ h_val[w])
+/// ```
+///
+/// where `faulty` re-evaluates the fanout gate with its `flip`-marked
+/// fanins complemented — the batched (row-at-a-time) form of
+/// [`eval_gate_word`]. The gate-kind dispatch is hoisted out of the
+/// word loop and flips become XOR masks, so the common one-, two- and
+/// three-fanin shapes compile to straight-line word loops the backend
+/// can vectorize. `eval_gate_word` remains the per-word oracle: debug
+/// builds re-derive every word and assert bit-identity in place.
+///
+/// All slices must have the same length (one block of a signature
+/// row); fanin arity is validated by the circuit builder upstream.
+pub(crate) fn accumulate_sensitivity(
+    kind: GateKind,
+    fanins: &[(&[u64], bool)],
+    h_odc: &[u64],
+    h_val: &[u64],
+    acc: &mut [u64],
+) {
+    #[cfg(debug_assertions)]
+    let before: Vec<u64> = acc.to_vec();
+    match (kind, fanins) {
+        (GateKind::Output | GateKind::Buf | GateKind::Dff, [(a, fa)]) => {
+            let ma = flip_mask(*fa);
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                *acc_w |= h_odc[w] & ((a[w] ^ ma) ^ h_val[w]);
+            }
+        }
+        (GateKind::Not, [(a, fa)]) => {
+            let ma = !flip_mask(*fa);
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                *acc_w |= h_odc[w] & ((a[w] ^ ma) ^ h_val[w]);
+            }
+        }
+        (GateKind::And, [(a, fa), (b, fb)]) => {
+            let (ma, mb) = (flip_mask(*fa), flip_mask(*fb));
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                *acc_w |= h_odc[w] & (((a[w] ^ ma) & (b[w] ^ mb)) ^ h_val[w]);
+            }
+        }
+        (GateKind::Nand, [(a, fa), (b, fb)]) => {
+            let (ma, mb) = (flip_mask(*fa), flip_mask(*fb));
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                *acc_w |= h_odc[w] & (!((a[w] ^ ma) & (b[w] ^ mb)) ^ h_val[w]);
+            }
+        }
+        (GateKind::Or, [(a, fa), (b, fb)]) => {
+            let (ma, mb) = (flip_mask(*fa), flip_mask(*fb));
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                *acc_w |= h_odc[w] & (((a[w] ^ ma) | (b[w] ^ mb)) ^ h_val[w]);
+            }
+        }
+        (GateKind::Nor, [(a, fa), (b, fb)]) => {
+            let (ma, mb) = (flip_mask(*fa), flip_mask(*fb));
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                *acc_w |= h_odc[w] & (!((a[w] ^ ma) | (b[w] ^ mb)) ^ h_val[w]);
+            }
+        }
+        (GateKind::Xor, [(a, fa), (b, fb)]) => {
+            let m = flip_mask(*fa) ^ flip_mask(*fb);
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                *acc_w |= h_odc[w] & ((a[w] ^ b[w] ^ m) ^ h_val[w]);
+            }
+        }
+        (GateKind::Xnor, [(a, fa), (b, fb)]) => {
+            let m = !(flip_mask(*fa) ^ flip_mask(*fb));
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                *acc_w |= h_odc[w] & ((a[w] ^ b[w] ^ m) ^ h_val[w]);
+            }
+        }
+        (GateKind::Mux, [(s, fs), (a, fa), (b, fb)]) => {
+            let (ms, ma, mb) = (flip_mask(*fs), flip_mask(*fa), flip_mask(*fb));
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                let sel = s[w] ^ ms;
+                let v = (sel & (b[w] ^ mb)) | (!sel & (a[w] ^ ma));
+                *acc_w |= h_odc[w] & (v ^ h_val[w]);
+            }
+        }
+        // Uncommon arities (wide ANDs/ORs/XORs, degenerate shapes):
+        // fall back to the per-word oracle itself.
+        _ => {
+            for (w, acc_w) in acc.iter_mut().enumerate() {
+                *acc_w |= h_odc[w] & (eval_gate_word(kind, fanins, w) ^ h_val[w]);
+            }
+        }
+    }
+    #[cfg(debug_assertions)]
+    for w in 0..acc.len() {
+        let oracle = h_odc[w] & (eval_gate_word(kind, fanins, w) ^ h_val[w]);
+        debug_assert_eq!(
+            acc[w],
+            before[w] | oracle,
+            "batched sensitivity kernel diverged from the word oracle ({kind}, word {w})"
+        );
+    }
+}
+
 fn fold(
     fanins: &[&Signature],
     bits: usize,
@@ -494,6 +604,60 @@ mod tests {
                 eval_gate_word(GateKind::And, &flat, w),
                 expect.as_words()[w]
             );
+        }
+    }
+
+    #[test]
+    fn batched_sensitivity_matches_word_oracle() {
+        use GateKind::*;
+        let bits = 192;
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let sigs: Vec<Signature> = (0..3).map(|_| Signature::random(bits, &mut rng)).collect();
+        let h_odc = Signature::random(bits, &mut rng);
+        let h_val = Signature::random(bits, &mut rng);
+        let start = Signature::random(bits, &mut rng);
+        for kind in [And, Nand, Or, Nor, Xor, Xnor, Mux, Not, Buf, Output] {
+            let n = match kind {
+                Not | Buf | Output => 1,
+                _ => 3, // Mux is ternary; the folds exercise the n-ary fallback
+            };
+            // Every flip combination of the fanins.
+            for flips in 0..(1u32 << n) {
+                let pairs: Vec<(&[u64], bool)> = (0..n)
+                    .map(|i| (sigs[i].as_words(), flips >> i & 1 == 1))
+                    .collect();
+                let mut acc = start.as_words().to_vec();
+                accumulate_sensitivity(kind, &pairs, h_odc.as_words(), h_val.as_words(), &mut acc);
+                for (w, &got) in acc.iter().enumerate() {
+                    let oracle = h_odc.as_words()[w]
+                        & (eval_gate_word(kind, &pairs, w) ^ h_val.as_words()[w]);
+                    assert_eq!(
+                        got,
+                        start.as_words()[w] | oracle,
+                        "{kind} flips={flips:b} word {w}"
+                    );
+                }
+            }
+        }
+        // The binary specializations too (the loop above hits the
+        // ternary fallback for And/Or/...).
+        for kind in [And, Nand, Or, Nor, Xor, Xnor] {
+            for flips in 0..4u32 {
+                let pairs: Vec<(&[u64], bool)> = (0..2)
+                    .map(|i| (sigs[i].as_words(), flips >> i & 1 == 1))
+                    .collect();
+                let mut acc = start.as_words().to_vec();
+                accumulate_sensitivity(kind, &pairs, h_odc.as_words(), h_val.as_words(), &mut acc);
+                for (w, &got) in acc.iter().enumerate() {
+                    let oracle = h_odc.as_words()[w]
+                        & (eval_gate_word(kind, &pairs, w) ^ h_val.as_words()[w]);
+                    assert_eq!(
+                        got,
+                        start.as_words()[w] | oracle,
+                        "{kind} binary flips={flips:b} word {w}"
+                    );
+                }
+            }
         }
     }
 

@@ -369,6 +369,28 @@ impl FrameTrace {
         }
     }
 
+    /// Planning estimate (in bytes) of the simulation data plane for
+    /// `circuit` under `config`: the per-frame chunked
+    /// [`SignatureArena`] plus the transient working buffers (warm-up
+    /// frame, register state) and the ODC pass's equally-sized mask
+    /// buffer. The solver's `SolveBudget` memory caps check this
+    /// *before* any allocation happens, so an over-budget instance is
+    /// a structured error instead of an OOM abort.
+    pub fn data_plane_bytes(circuit: &Circuit, config: &SimConfig) -> usize {
+        let slots = circuit.len();
+        let bits = config.num_vectors;
+        let wps = bits / 64;
+        let word = std::mem::size_of::<u64>();
+        let arena = SignatureArena::required_bytes(config.frames.max(1), slots, bits.max(64));
+        // One warm-up frame + one ODC mask frame, plus two register
+        // rows (state carry and next-frame register ODCs).
+        let working = 2usize
+            .saturating_mul(slots.saturating_add(circuit.num_registers()))
+            .saturating_mul(wps)
+            .saturating_mul(word);
+        arena.saturating_add(working)
+    }
+
     /// The configuration used.
     pub fn config(&self) -> &SimConfig {
         &self.config

@@ -19,7 +19,7 @@ use minobswin::experiment::{checkpoint_path, Experiment, ExperimentEvent, RunCon
 use minobswin::{CancelToken, SolveBudget};
 use netlist::digest::{circuit_digest, format_digest};
 use netlist::parallel::resolve_workers;
-use netlist::{bench_format, blif, verilog, Circuit, Levelization, ParseLimits};
+use netlist::{bench_format, Circuit, Levelization, ParseLimits};
 use retime::apply::apply_retiming;
 use retime::RetimeGraph;
 
@@ -724,15 +724,15 @@ fn parse_job(
         }
     }
     let limits = ParseLimits::default();
-    match spec.format {
-        NetlistFormat::Bench => {
-            bench_format::parse_with_limits(&spec.source, CANONICAL_NAME, &limits)
-        }
-        NetlistFormat::Blif => blif::parse_with_limits(&spec.source, &limits).map(rename_canonical),
-        NetlistFormat::Verilog => {
-            verilog::parse_with_limits(&spec.source, &limits).map(rename_canonical)
-        }
-    }
+    let parsed = spec
+        .format
+        .parse_str(&spec.source, CANONICAL_NAME, &limits)?;
+    // `.bench` carries the canonical name already; the other formats
+    // round-trip through it so every format shares one key space.
+    Ok(match spec.format {
+        NetlistFormat::Bench => parsed,
+        NetlistFormat::Blif | NetlistFormat::Verilog => rename_canonical(parsed),
+    })
 }
 
 /// Round-trips a circuit through `.bench` under the canonical name so

@@ -16,42 +16,17 @@ use crate::json::Json;
 /// the daemon's lifetime).
 pub type JobId = String;
 
-/// The netlist source format of a submitted job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NetlistFormat {
-    /// ISCAS89 `.bench`.
-    Bench,
-    /// Structural BLIF.
-    Blif,
-    /// The structural-Verilog subset.
-    Verilog,
-}
+pub use netlist::NetlistFormat;
 
-impl NetlistFormat {
-    /// The protocol name (`"bench"` / `"blif"` / `"verilog"`).
-    pub fn name(&self) -> &'static str {
-        match self {
-            NetlistFormat::Bench => "bench",
-            NetlistFormat::Blif => "blif",
-            NetlistFormat::Verilog => "verilog",
-        }
-    }
-
-    /// Parses a protocol name or file extension.
-    ///
-    /// # Errors
-    ///
-    /// A message naming the unknown format.
-    pub fn from_name(name: &str) -> Result<Self, String> {
-        match name {
-            "bench" => Ok(NetlistFormat::Bench),
-            "blif" => Ok(NetlistFormat::Blif),
-            "v" | "verilog" => Ok(NetlistFormat::Verilog),
-            other => Err(format!(
-                "unknown netlist format `{other}` (use bench, blif or verilog)"
-            )),
-        }
-    }
+/// Parses a protocol name or file extension into a [`NetlistFormat`],
+/// with the daemon's error message.
+///
+/// # Errors
+///
+/// A message naming the unknown format.
+pub fn format_from_name(name: &str) -> Result<NetlistFormat, String> {
+    NetlistFormat::from_name(name)
+        .ok_or_else(|| format!("unknown netlist format `{name}` (use bench, blif or verilog)"))
 }
 
 /// Which optimizer a job runs.
@@ -217,7 +192,7 @@ impl JobSpec {
             .and_then(Json::as_str)
             .ok_or("missing string field `source`")?
             .to_string();
-        let format = NetlistFormat::from_name(
+        let format = format_from_name(
             v.get("format")
                 .and_then(Json::as_str)
                 .ok_or("missing string field `format`")?,

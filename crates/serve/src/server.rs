@@ -139,7 +139,7 @@ fn spec_from_request(v: &Json, next_id: &AtomicU64) -> Result<JobSpec, String> {
                 .and_then(|e| e.to_str())
                 .unwrap_or("");
             let format = NetlistFormat::from_name(ext)
-                .map_err(|_| format!("cannot infer a netlist format from `{path}`"))?;
+                .ok_or_else(|| format!("cannot infer a netlist format from `{path}`"))?;
             obj.push(("format".into(), Json::str(format.name())));
         }
         obj.retain(|(k, _)| k != "path");

@@ -88,8 +88,12 @@ fn corpus_covers_every_designed_failure_mode() {
 #[test]
 fn ten_megabyte_single_line_is_rejected_quickly() {
     // Generated here rather than committed: 10 MB of 'a' on one line.
+    // The parsers check limits in reading order (fused into the
+    // streaming scanner), so the prefix line must be one every format
+    // accepts — `#` is a comment in blif/bench and opaque-but-buffered
+    // text in verilog — for the length error to surface at line 2.
     let mut text = String::with_capacity(10_000_100);
-    text.push_str(".model big\n.inputs ");
+    text.push_str("# big\n.inputs ");
     text.push_str(&"a".repeat(10_000_000));
     text.push('\n');
     match blif::parse(&text) {
@@ -177,7 +181,84 @@ fn token_soup(seed: u64, tokens: usize) -> String {
     out
 }
 
+/// Parses `text` twice — in memory and through the streaming reader
+/// path [`netlist::read_path`] uses — and asserts the outcomes agree:
+/// equal circuits on `Ok`, equal rendered errors on `Err`. The circuit
+/// name is pinned to the temp file's stem so the `.bench` front end
+/// (which names circuits from the path) cannot differ spuriously.
+fn assert_streaming_matches_in_memory(ext: &str, text: &str, case: u64) {
+    use std::io::Cursor;
+    let limits = ParseLimits::default();
+    let name = format!("fuzz_stream_{case}");
+    let reader = Cursor::new(text.as_bytes());
+    let (in_memory, streamed) = match ext {
+        "bench" => (
+            bench_format::parse_with_limits(text, &name, &limits),
+            bench_format::parse_reader(reader, &name, &limits),
+        ),
+        "blif" => (
+            blif::parse_with_limits(text, &limits),
+            blif::parse_reader(reader, &limits),
+        ),
+        _ => (
+            verilog::parse_with_limits(text, &limits),
+            verilog::parse_reader(reader, &limits),
+        ),
+    };
+    match (in_memory, streamed) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "{ext}: circuits diverge on case {case}"),
+        (Err(a), Err(b)) => {
+            assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "{ext}: errors diverge on case {case}"
+            );
+        }
+        (a, b) => panic!(
+            "{ext}: outcome diverges on case {case}: in-memory {:?} vs streamed {:?}",
+            a.map(|c| c.len()),
+            b.map(|c| c.len())
+        ),
+    }
+}
+
+#[test]
+fn streaming_matches_in_memory_on_the_corpus() {
+    for name in [
+        "truncated.blif",
+        "cyclic_latch.blif",
+        "nul_bytes.blif",
+        "dup_gates.blif",
+        "wide_fanin.blif",
+        "dup_gates.bench",
+        "garbage.bench",
+    ] {
+        let text = read_corpus(name);
+        let ext = name.rsplit('.').next().unwrap();
+        assert_streaming_matches_in_memory(ext, &text, 0);
+    }
+}
+
 proptest! {
+    /// The streaming reader path and the in-memory path must be
+    /// byte-identical in behavior over adversarial inputs, in every
+    /// format — the guarantee `read_path` rests on.
+    #[test]
+    fn streaming_matches_in_memory_on_token_soup(seed in 0u64..1_000_000, tokens in 0usize..512) {
+        let text = token_soup(seed, tokens);
+        for ext in ["bench", "blif", "v"] {
+            assert_streaming_matches_in_memory(ext, &text, seed);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_on_byte_soup(seed in 0u64..1_000_000, len in 0usize..4096) {
+        let text = byte_soup(seed, len);
+        for ext in ["bench", "blif", "v"] {
+            assert_streaming_matches_in_memory(ext, &text, seed);
+        }
+    }
+
     #[test]
     fn blif_never_panics_on_byte_soup(seed in 0u64..1_000_000, len in 0usize..4096) {
         let text = byte_soup(seed, len);

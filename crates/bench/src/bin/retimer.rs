@@ -40,6 +40,48 @@
 //!                                    pool size drives both the campaign and
 //!                                    the simulation workers)
 //!
+//! retimer estimate INPUT[.bench|.blif|.v] [options]
+//!
+//!   Estimates the circuit's SER with one engine, or (default) with
+//!   every engine at once, cross-checked by the three-way agreement
+//!   oracle (see crates/faultsim). Engines diverging past their
+//!   tolerance band exit 1 with a per-site divergence report.
+//!
+//!   --engine analytic|montecarlo|propprob|exact|all   (default: all)
+//!   --injections N                   Monte-Carlo campaign size
+//!                                    (default 100000)
+//!   --campaign-seed S                injection sampling seed
+//!   --tolerance F                    uniform relative tolerance band
+//!                                    (default: per-pair-class bands)
+//!   --max-source-bits B              exhaustive-oracle cap on
+//!                                    registers + inputs x frames
+//!                                    (default 20; over it, `exact`
+//!                                    exits 2 and `all` skips it)
+//!   --phi P                          clock period override (default:
+//!                                    setup/hold initialization)
+//!   --vectors K  --frames N  --seed S  --threads T   as above
+//!
+//! retimer harden INPUT[.bench|.blif|.v] [options]
+//!
+//!   Selective-hardening advisor: ranks cells by SER payoff per unit
+//!   of hardened area (cross-scored by the Monte-Carlo campaign and
+//!   the propagation-probability engine), greedily spends the area
+//!   budget, and validates the plan with a same-seed campaign under
+//!   the hardened rate model.
+//!
+//!   --area-budget F                  fraction of total cell area to
+//!                                    spend (default 0.1)
+//!   --hardening-factor F             residual rate of a hardened cell
+//!                                    (default 0.1)
+//!   --area-overhead F                hardening cost as a multiple of
+//!                                    the cell's area (default 1.0)
+//!   --max-picks N                    cap on hardened cells (default:
+//!                                    unlimited)
+//!   --plan FILE.csv                  write the ranked plan as CSV
+//!   --no-validate                    skip the validation campaign
+//!   --injections N  --campaign-seed S  --phi P
+//!   --vectors K  --frames N  --seed S  --threads T   as above
+//!
 //! retimer bench-solve [options]
 //!
 //!   Benchmarks the solver's incremental engines (dirty-region
@@ -113,7 +155,10 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use faultsim::{run_campaign, CampaignConfig, CrossCheck, DEFAULT_TOLERANCE};
+use faultsim::{
+    advise, check_agreement, run_campaign, CampaignConfig, CrossCheck, HardenConfig,
+    MonteCarloEstimator, ToleranceBands, DEFAULT_TOLERANCE,
+};
 use minobswin::experiment::{Experiment, MethodResult, RunConfig};
 use minobswin::{SolveBudget, SolveError};
 use netlist::{bench_format, blif, verilog, Circuit, DelayModel, NetlistError, ParseLimits};
@@ -121,7 +166,10 @@ use retime::apply::apply_retiming;
 use retime::{ElwParams, RetimeGraph};
 use ser_engine::equiv::{check_equivalence, EquivConfig};
 use ser_engine::sim::SimConfig;
-use ser_engine::{analyze, SerConfig};
+use ser_engine::{
+    analyze, AnalyticEstimator, EngineKind, EstimateError, ExactEstimator, PropProbEstimator,
+    SerConfig, SerEstimate, SerEstimator, DEFAULT_MAX_SOURCE_BITS,
+};
 
 /// A command-line failure: a usage error or a wrapped pipeline error,
 /// mapped onto the stable exit codes documented above.
@@ -178,6 +226,15 @@ impl From<String> for CliError {
     }
 }
 
+impl From<EstimateError> for CliError {
+    fn from(e: EstimateError) -> Self {
+        match e {
+            EstimateError::Retime(err) => CliError::Solve(err.into()),
+            e @ EstimateError::TooLarge { .. } => CliError::Usage(e.to_string()),
+        }
+    }
+}
+
 /// Exit code for "a solve budget expired; a degraded but feasible
 /// result was emitted".
 const EXIT_DEGRADED: u8 = 4;
@@ -185,6 +242,8 @@ const EXIT_DEGRADED: u8 = 4;
 fn main() -> ExitCode {
     let subcommand = std::env::args().nth(1);
     let result = match subcommand.as_deref() {
+        Some("estimate") => run_estimate(),
+        Some("harden") => run_harden(),
         Some("fault-sim") => run_fault_sim(),
         Some("bench-solve") => run_bench_solve(),
         Some("bench-ser") => run_bench_ser(),
@@ -630,6 +689,320 @@ fn run_fault_sim() -> Result<u8, CliError> {
     Ok(0)
 }
 
+/// Options shared by the `estimate` and `harden` subcommands: one
+/// circuit, one simulation size, one campaign size, one Φ policy.
+struct EstimateOptions {
+    input: String,
+    engine: String,
+    injections: u64,
+    campaign_seed: u64,
+    tolerance: Option<f64>,
+    max_source_bits: u32,
+    phi: Option<i64>,
+    area_budget: f64,
+    hardening_factor: f64,
+    area_overhead: f64,
+    max_picks: usize,
+    plan: Option<String>,
+    validate: bool,
+    vectors: usize,
+    frames: usize,
+    seed: u64,
+    threads: usize,
+}
+
+fn parse_estimate_args(usage: &str) -> Result<EstimateOptions, String> {
+    let mut args = std::env::args().skip(2); // binary name + subcommand
+    let mut options = EstimateOptions {
+        input: String::new(),
+        engine: "all".into(),
+        injections: 100_000,
+        campaign_seed: 0x5EED_FA17,
+        tolerance: None,
+        max_source_bits: DEFAULT_MAX_SOURCE_BITS,
+        phi: None,
+        area_budget: 0.1,
+        hardening_factor: 0.1,
+        area_overhead: 1.0,
+        max_picks: 0,
+        plan: None,
+        validate: true,
+        vectors: 1024,
+        frames: 15,
+        seed: 0xC0FFEE,
+        threads: 0,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--engine" => options.engine = args.next().ok_or("--engine needs a value")?,
+            "--injections" => {
+                options.injections = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--injections needs a positive integer")?
+            }
+            "--campaign-seed" => {
+                options.campaign_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--campaign-seed needs an integer")?
+            }
+            "--tolerance" => {
+                let tol: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--tolerance needs a number")?;
+                if !tol.is_finite() || tol < 0.0 {
+                    return Err("--tolerance needs a non-negative number".into());
+                }
+                options.tolerance = Some(tol);
+            }
+            "--max-source-bits" => {
+                options.max_source_bits = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-source-bits needs a positive integer")?
+            }
+            "--phi" => {
+                options.phi = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&phi: &i64| phi > 0)
+                        .ok_or("--phi needs a positive integer")?,
+                )
+            }
+            "--area-budget" => {
+                let budget: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--area-budget needs a number")?;
+                if !(0.0..=1.0).contains(&budget) {
+                    return Err("--area-budget is a fraction in [0, 1]".into());
+                }
+                options.area_budget = budget;
+            }
+            "--hardening-factor" => {
+                let factor: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--hardening-factor needs a number")?;
+                if !(0.0..=1.0).contains(&factor) {
+                    return Err("--hardening-factor is a fraction in [0, 1]".into());
+                }
+                options.hardening_factor = factor;
+            }
+            "--area-overhead" => {
+                let overhead: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--area-overhead needs a number")?;
+                if !overhead.is_finite() || overhead <= 0.0 {
+                    return Err("--area-overhead needs a positive number".into());
+                }
+                options.area_overhead = overhead;
+            }
+            "--max-picks" => {
+                options.max_picks = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-picks needs a non-negative integer")?
+            }
+            "--plan" => options.plan = Some(args.next().ok_or("--plan needs a path")?),
+            "--no-validate" => options.validate = false,
+            "--vectors" => {
+                options.vectors = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--vectors needs a positive integer")?
+            }
+            "--frames" => {
+                options.frames = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--frames needs a positive integer")?
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            "--threads" | "--workers" => {
+                options.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a non-negative integer")?
+            }
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                std::process::exit(0);
+            }
+            other if options.input.is_empty() && !other.starts_with('-') => {
+                options.input = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if options.input.is_empty() {
+        return Err(format!("missing input netlist\n{usage}"));
+    }
+    Ok(options)
+}
+
+/// Builds the one [`SerConfig`] the estimation subcommands share: the
+/// experiment pipeline's default models, Φ from the same setup/hold
+/// initialization `solve` uses (or the `--phi` override).
+fn build_estimate_config(
+    circuit: &Circuit,
+    options: &EstimateOptions,
+) -> Result<SerConfig, CliError> {
+    let defaults = RunConfig::default();
+    let phi = match options.phi {
+        Some(phi) => phi,
+        None => {
+            let graph = RetimeGraph::from_circuit(circuit, &defaults.delays)?;
+            defaults.init.initialize(&graph)?.phi
+        }
+    };
+    Ok(SerConfig {
+        sim: SimConfig {
+            num_vectors: options.vectors,
+            frames: options.frames,
+            warmup: 16,
+            seed: options.seed,
+            threads: options.threads,
+        },
+        delays: defaults.delays.clone(),
+        rates: defaults.rates.clone(),
+        elw: ElwParams {
+            phi,
+            t_setup: defaults.init.t_setup,
+            t_hold: defaults.init.t_hold,
+        },
+    })
+}
+
+fn print_estimate(estimate: &SerEstimate) {
+    match estimate.ser_ci {
+        Some((lo, hi)) => println!(
+            "{:<10} SER {:.4e} [{:.4e}, {:.4e}]",
+            estimate.engine.name(),
+            estimate.ser,
+            lo,
+            hi
+        ),
+        None => println!("{:<10} SER {:.4e}", estimate.engine.name(), estimate.ser),
+    }
+}
+
+/// `retimer estimate`: one engine, or all of them under the three-way
+/// agreement oracle.
+fn run_estimate() -> Result<u8, CliError> {
+    const USAGE: &str = "usage: retimer estimate INPUT[.bench|.blif|.v] \
+         [--engine analytic|montecarlo|propprob|exact|all] [--injections N] \
+         [--campaign-seed S] [--tolerance F] [--max-source-bits B] [--phi P] \
+         [--vectors K] [--frames N] [--seed S] [--threads T]";
+    let options = parse_estimate_args(USAGE)?;
+    let circuit = read_netlist(&options.input)?;
+    eprintln!("read {circuit}");
+    let ser_config = build_estimate_config(&circuit, &options)?;
+    println!("Phi = {}", ser_config.elw.phi);
+
+    let montecarlo = MonteCarloEstimator {
+        campaign: CampaignConfig::new(options.injections)
+            .with_seed(options.campaign_seed)
+            .with_workers(options.threads),
+    };
+    if options.engine == "all" {
+        let bands = options
+            .tolerance
+            .map(ToleranceBands::uniform)
+            .unwrap_or_default();
+        let report = check_agreement(&circuit, &ser_config, &montecarlo, bands)?;
+        print!("{}", report.summary());
+        if !report.agrees() {
+            eprintln!(
+                "estimators disagree: {} of {} pairs outside their band (exit 1)",
+                report.divergent().len(),
+                report.pairs.len()
+            );
+            return Ok(1);
+        }
+        return Ok(0);
+    }
+
+    let kind: EngineKind = options.engine.parse().map_err(CliError::Usage)?;
+    let estimate = match kind {
+        EngineKind::Analytic => AnalyticEstimator.estimate(&circuit, &ser_config)?,
+        EngineKind::PropProb => PropProbEstimator.estimate(&circuit, &ser_config)?,
+        EngineKind::MonteCarlo => montecarlo.estimate(&circuit, &ser_config)?,
+        EngineKind::Exact => ExactEstimator {
+            max_source_bits: options.max_source_bits,
+        }
+        .estimate(&circuit, &ser_config)?,
+    };
+    print_estimate(&estimate);
+    // The heaviest contributors, so a lone engine run is actionable.
+    let mut sites: Vec<_> = circuit
+        .iter()
+        .map(|(id, g)| (ser_config.rates.rate(&circuit, id) * estimate.site_p(id), g))
+        .filter(|&(contribution, _)| contribution > 0.0)
+        .collect();
+    sites.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (contribution, gate) in sites.iter().take(5) {
+        println!(
+            "  {:>12} ({}): {:.4e} ({:.1}% of total)",
+            gate.name(),
+            gate.kind(),
+            contribution,
+            contribution / estimate.ser * 100.0
+        );
+    }
+    Ok(0)
+}
+
+/// `retimer harden`: rank cells by hardening payoff, spend the area
+/// budget, validate with a same-seed campaign.
+fn run_harden() -> Result<u8, CliError> {
+    const USAGE: &str = "usage: retimer harden INPUT[.bench|.blif|.v] \
+         [--area-budget F] [--hardening-factor F] [--area-overhead F] \
+         [--max-picks N] [--plan FILE.csv] [--no-validate] [--injections N] \
+         [--campaign-seed S] [--phi P] [--vectors K] [--frames N] [--seed S] \
+         [--threads T]";
+    let options = parse_estimate_args(USAGE)?;
+    let circuit = read_netlist(&options.input)?;
+    eprintln!("read {circuit}");
+    let ser_config = build_estimate_config(&circuit, &options)?;
+    println!("Phi = {}", ser_config.elw.phi);
+
+    let campaign = CampaignConfig::new(options.injections)
+        .with_seed(options.campaign_seed)
+        .with_workers(options.threads);
+    let harden = HardenConfig {
+        area_budget: options.area_budget,
+        hardening_factor: options.hardening_factor,
+        area_overhead: options.area_overhead,
+        max_picks: options.max_picks,
+    };
+    let plan = advise(&circuit, &ser_config, &campaign, &harden)?;
+    print!("{}", plan.summary());
+
+    if let Some(path) = &options.plan {
+        std::fs::write(path, plan.to_csv())?;
+        println!("wrote {path}");
+    }
+    if options.validate && !plan.selected().is_empty() {
+        let (before, after) = plan.validate(&circuit, &ser_config, &campaign)?;
+        println!(
+            "validation: SER {:.4e} -> {:.4e} measured ({:+.1}%)",
+            before,
+            after,
+            (after / before - 1.0) * 100.0
+        );
+    }
+    Ok(0)
+}
+
 struct BenchSolveOptions {
     out: String,
     gates: Vec<usize>,
@@ -847,7 +1220,8 @@ fn run_bench_ser() -> Result<u8, CliError> {
         let record = ser_bench::measure(instance, &config);
         println!(
             "{:<16} |V| {:>6} gates  scalar {:>9.3} ms ({:>6} allocs), arena {:>9.3} ms \
-             ({:>5} allocs, {:>5.2}x, {:>6.2} ns/g·f·v), arena+{} threads {:>9.3} ms ({:>5.2}x)",
+             ({:>5} allocs, {:>5.2}x, {:>6.2} ns/g·f·v), arena+{} threads {:>9.3} ms ({:>5.2}x), \
+             propprob {:>7.3} ms ({:>6.2} ns/g·f)",
             record.name,
             record.gates,
             record.scalar_nanos as f64 / 1e6,
@@ -859,6 +1233,8 @@ fn run_bench_ser() -> Result<u8, CliError> {
             record.threads,
             record.threaded_nanos as f64 / 1e6,
             record.threaded_speedup(),
+            record.propprob_nanos as f64 / 1e6,
+            record.propprob_nanos_per_gf(),
         );
         records.push(record);
     }
@@ -938,14 +1314,14 @@ fn append_csv(path: &str, run: &minobswin::experiment::CircuitRun) -> std::io::R
     if !exists {
         writeln!(
             file,
-            "circuit,v,e,ff,phi,rmin,setup_hold,ser_original,\
+            "circuit,v,e,ff,phi,rmin,setup_hold,ser_original,ser_propprob,\
              minobs_ff,minobs_ser,minobs_seconds,minobs_commits,\
              minobswin_ff,minobswin_ser,minobswin_seconds,minobswin_commits,ser_ratio"
         )?;
     }
     writeln!(
         file,
-        "{},{},{},{},{},{},{},{:e},{},{:e},{},{},{},{:e},{},{},{}",
+        "{},{},{},{},{},{},{},{:e},{:e},{},{:e},{},{},{},{:e},{},{},{}",
         run.name,
         run.v,
         run.e,
@@ -954,6 +1330,7 @@ fn append_csv(path: &str, run: &minobswin::experiment::CircuitRun) -> std::io::R
         run.r_min,
         run.used_setup_hold,
         run.ser_original,
+        run.ser_propprob,
         run.minobs.registers,
         run.minobs.ser,
         run.minobs.solve_seconds,

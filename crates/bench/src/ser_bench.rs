@@ -125,6 +125,10 @@ pub struct BenchSerRecord {
     pub arena_allocs: u64,
     /// Wall-clock nanoseconds of the arena engine with the worker pool.
     pub threaded_nanos: u64,
+    /// Wall-clock nanoseconds of the propagation-probability estimator
+    /// (the backward pass over a pre-built trace — the marginal cost of
+    /// the second opinion every experiment run now pays).
+    pub propprob_nanos: u64,
 }
 
 impl BenchSerRecord {
@@ -142,6 +146,13 @@ impl BenchSerRecord {
     /// the normalized data-plane cost.
     pub fn arena_nanos_per_gfv(&self) -> f64 {
         self.arena_nanos as f64 / (self.gates * self.frames * self.num_vectors).max(1) as f64
+    }
+
+    /// Propagation-probability nanoseconds per gate and frame — the
+    /// normalized estimator-throughput cost (the backward pass works on
+    /// per-frame densities, so its cost is vector-independent).
+    pub fn propprob_nanos_per_gf(&self) -> f64 {
+        self.propprob_nanos as f64 / (self.gates * self.frames).max(1) as f64
     }
 }
 
@@ -192,6 +203,22 @@ pub fn measure(instance: &BenchSerInstance, config: &BenchSerConfig) -> BenchSer
     }
     let threaded_obs = threaded_obs.expect("reps >= 1");
 
+    // Propagation-probability column: the backward pass alone, over a
+    // trace built once outside the timed region (the experiment
+    // pipeline reuses its existing trace the same way).
+    let pp_trace = FrameTrace::simulate(circuit, config.sim(1));
+    let mut propprob_nanos = u64::MAX;
+    for _ in 0..reps {
+        let t3 = Instant::now();
+        let pp = ser_engine::PropProb::compute(circuit, &pp_trace);
+        propprob_nanos = propprob_nanos.min(t3.elapsed().as_nanos() as u64);
+        assert!(
+            pp.as_slice().iter().all(|p| (0.0..=1.0).contains(p)),
+            "{}: propprob produced a non-probability",
+            instance.name
+        );
+    }
+
     assert_eq!(
         scalar_obs,
         arena_obs.as_slice().to_vec(),
@@ -216,6 +243,7 @@ pub fn measure(instance: &BenchSerInstance, config: &BenchSerConfig) -> BenchSer
         arena_nanos,
         arena_allocs,
         threaded_nanos,
+        propprob_nanos,
     }
 }
 
@@ -229,7 +257,7 @@ fn run_arena(circuit: &Circuit, config: SimConfig) -> Observability {
 /// `ser_arena_nanos` is the CI-gated regression field.
 pub fn to_json(records: &[BenchSerRecord]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"benchmark\": \"ser-data-plane\",\n  \"version\": 1,\n");
+    out.push_str("{\n  \"benchmark\": \"ser-data-plane\",\n  \"version\": 2,\n");
     out.push_str("  \"circuits\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
@@ -238,9 +266,10 @@ pub fn to_json(records: &[BenchSerRecord]) -> String {
              \"num_vectors\": {},\n      \"frames\": {},\n      \"threads\": {},\n      \
              \"ser_scalar_nanos\": {},\n      \"ser_scalar_allocs\": {},\n      \
              \"ser_arena_nanos\": {},\n      \"ser_arena_allocs\": {},\n      \
-             \"ser_threaded_nanos\": {},\n      \
+             \"ser_threaded_nanos\": {},\n      \"ser_propprob_nanos\": {},\n      \
              \"arena_speedup\": {:.3},\n      \"threaded_speedup\": {:.3},\n      \
-             \"arena_nanos_per_gate_frame_vector\": {:.4}\n    }}",
+             \"arena_nanos_per_gate_frame_vector\": {:.4},\n      \
+             \"propprob_nanos_per_gate_frame\": {:.4}\n    }}",
             r.name,
             r.gates,
             r.num_vectors,
@@ -251,9 +280,11 @@ pub fn to_json(records: &[BenchSerRecord]) -> String {
             r.arena_nanos,
             r.arena_allocs,
             r.threaded_nanos,
+            r.propprob_nanos,
             r.arena_speedup(),
             r.threaded_speedup(),
             r.arena_nanos_per_gfv(),
+            r.propprob_nanos_per_gf(),
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -278,8 +309,11 @@ mod tests {
         assert!(json.contains("\"ser_arena_nanos\""));
         assert!(json.contains("\"ser_scalar_allocs\""));
         assert!(json.contains("\"arena_nanos_per_gate_frame_vector\""));
+        assert!(json.contains("\"ser_propprob_nanos\""));
+        assert!(json.contains("\"propprob_nanos_per_gate_frame\""));
         for r in &records {
             assert!(r.scalar_nanos > 0 && r.arena_nanos > 0 && r.threaded_nanos > 0);
+            assert!(r.propprob_nanos > 0);
             assert!(r.gates > 0);
             assert!(r.threads >= 1);
         }

@@ -123,6 +123,12 @@ pub struct BenchRecord {
     /// The run with both incremental engines disabled (from-scratch
     /// checks, fresh Dinic per closure call).
     pub full: EngineRun,
+    /// Whether either engine's run was truncated by the solve budget.
+    /// Degraded rows are not comparable to converged ones: their
+    /// counters reflect wherever the budget happened to stop, so CI
+    /// diff scripts must never compare a degraded row against a
+    /// converged baseline (or vice versa).
+    pub degraded: bool,
 }
 
 impl BenchRecord {
@@ -228,6 +234,7 @@ pub fn measure_with_budget(
         edges: instance.graph.num_edges(),
         incremental,
         full,
+        degraded,
     })
 }
 
@@ -285,13 +292,14 @@ fn push_engine(out: &mut String, indent: &str, label: &str, run: &EngineRun) {
 /// (hand-rolled: the workspace deliberately has no serde dependency).
 pub fn to_json(records: &[BenchRecord]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"benchmark\": \"solver-constraint-engines\",\n  \"version\": 2,\n");
+    out.push_str("{\n  \"benchmark\": \"solver-constraint-engines\",\n  \"version\": 3,\n");
     out.push_str("  \"circuits\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\n      \"name\": \"{}\",\n      \"vertices\": {},\n      \"edges\": {},\n",
-            r.name, r.vertices, r.edges
+            "    {{\n      \"name\": \"{}\",\n      \"vertices\": {},\n      \"edges\": {},\n      \
+             \"degraded\": {},\n",
+            r.name, r.vertices, r.edges, r.degraded
         );
         push_engine(&mut out, "      ", "incremental", &r.incremental);
         out.push_str(",\n");
@@ -322,7 +330,9 @@ mod tests {
         assert!(json.contains("\"edge_relaxation_ratio\""));
         assert!(json.contains("\"closure_arc_ratio\""));
         assert!(json.contains("\"closure_warm_nanos\""));
+        assert!(json.contains("\"degraded\": false"));
         for r in &records {
+            assert!(!r.degraded, "{}: unlimited budget cannot degrade", r.name);
             assert_eq!(r.incremental.stats.commits, r.full.stats.commits);
             assert_eq!(r.full.stats.perf.incremental_checks, 0);
             assert_eq!(
@@ -332,6 +342,19 @@ mod tests {
             );
             assert_eq!(r.full.stats.perf.closure_warm_nanos, 0);
         }
+    }
+
+    #[test]
+    fn budget_capped_run_is_flagged_degraded() {
+        // The committed generated_10k row came from a --max-iters 2000
+        // run; this drill pins the mechanism that tags such rows so CI
+        // never compares a truncated run against a converged baseline.
+        let instance = generated_instance(300).unwrap();
+        let budget = SolveBudget::new().with_max_iterations(Some(3));
+        let record = measure_with_budget(&instance, &budget).unwrap();
+        assert!(record.degraded, "a 3-iteration cap must truncate the solve");
+        let json = to_json(&[record]);
+        assert!(json.contains("\"degraded\": true"));
     }
 
     #[test]

@@ -12,7 +12,9 @@ use retime::apply::apply_retiming;
 use retime::{ElwParams, RetimeGraph, Retiming};
 use ser_engine::odc::Observability;
 use ser_engine::sim::{FrameTrace, SimConfig};
-use ser_engine::{analyze, vertex_observabilities, ErrorRateModel, SerConfig};
+use ser_engine::{
+    analyze, propprob_report_with_trace, vertex_observabilities, ErrorRateModel, SerConfig,
+};
 
 use crate::algorithm::{SolverConfig, SolverStats};
 use crate::init::InitConfig;
@@ -252,6 +254,10 @@ pub struct CircuitRun {
     pub used_setup_hold: bool,
     /// SER of the original circuit at Φ.
     pub ser_original: f64,
+    /// SER of the original circuit per the independent
+    /// propagation-probability engine (a built-in second opinion on
+    /// `ser_original`; see [`ser_engine::propprob`]).
+    pub ser_propprob: f64,
     /// The Efficient MinObs baseline result.
     pub minobs: MethodResult,
     /// The MinObsWin result.
@@ -366,6 +372,9 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
         elw: params,
     };
     let original_report = analyze(circuit, &ser_config)?;
+    // Second opinion from the propagation-probability engine, reusing
+    // the one simulation above for its signal densities.
+    let propprob_report = propprob_report_with_trace(circuit, &ser_config, &trace)?;
     let ff = circuit.num_registers();
 
     // Any SER engine breaker trip (sampled audit caught the parallel
@@ -453,6 +462,7 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
         r_min,
         used_setup_hold: init.used_setup_hold,
         ser_original: original_report.ser,
+        ser_propprob: propprob_report.ser,
         minobs: evaluate(&ref_sol.retiming, ref_secs, ref_sol.stats)?,
         minobswin: evaluate(&win_sol.retiming, win_secs, win_sol.stats)?,
     })
@@ -471,6 +481,7 @@ mod tests {
             .run()
             .unwrap();
         assert!(run.ser_original > 0.0);
+        assert!(run.ser_propprob > 0.0);
         assert!(run.minobs.ser > 0.0);
         assert!(run.minobswin.ser > 0.0);
         assert_eq!(run.ff, 3);

@@ -172,7 +172,8 @@ impl CrossCheck {
 
 /// Whether `value` lies inside `ci` widened by `tolerance` relative to
 /// `value` itself (plus a small absolute floor so exact zeros compare).
-fn inside_widened(value: f64, ci: (f64, f64), tolerance: f64) -> bool {
+/// Shared with the three-way agreement oracle in [`crate::agreement`].
+pub(crate) fn inside_widened(value: f64, ci: (f64, f64), tolerance: f64) -> bool {
     let margin = tolerance * value.abs() + 1e-12;
     value >= ci.0 - margin && value <= ci.1 + margin
 }

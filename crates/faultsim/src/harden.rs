@@ -1,0 +1,419 @@
+//! Selective-hardening advisor: which cells to protect under an area
+//! budget.
+//!
+//! Retiming (the paper's contribution) moves registers so fewer
+//! latching windows are exposed; selective hardening is the orthogonal
+//! knob — replace the worst cells with protected (DICE/TMR-style)
+//! variants whose raw rate is a small fraction of the original. Both
+//! need the same per-site quantity: each site's contribution to the
+//! total SER, `err(g) · obs(g,n) · |ELW(g)|/Φ`.
+//!
+//! The advisor scores that contribution **twice**, from the two most
+//! independent engines available — the Monte-Carlo campaign's per-site
+//! latch tallies and the propagation-probability engine's closed-form
+//! per-site product — and averages them, so a site only ranks high
+//! when both engines agree it matters. Payoff per unit of hardened
+//! area is then greedily maximized under the budget. The plan carries
+//! its own validation: re-run the *same-seed* campaign with the
+//! hardened rate model and measure the realized SER drop.
+
+use netlist::{Circuit, GateId, GateKind};
+use ser_engine::{EstimateError, PropProbEstimator, SerConfig, SerEstimator};
+
+use crate::campaign::{run_campaign, CampaignConfig, CampaignResult};
+
+/// Parameters of the hardening advisor.
+#[derive(Debug, Clone)]
+pub struct HardenConfig {
+    /// Fraction of the circuit's total cell area that may be spent on
+    /// hardening overhead (e.g. `0.2` = 20%).
+    pub area_budget: f64,
+    /// Residual rate fraction of a hardened cell (a hardened cell's
+    /// raw rate is `hardening_factor × err(g)`; DICE-style cells land
+    /// around 0.1 or below).
+    pub hardening_factor: f64,
+    /// Area overhead of hardening one cell, as a multiple of the
+    /// cell's own area (DICE/TMR-style duplication costs roughly the
+    /// cell again).
+    pub area_overhead: f64,
+    /// Hard cap on the number of hardened cells (0 = unlimited).
+    pub max_picks: usize,
+}
+
+impl Default for HardenConfig {
+    fn default() -> Self {
+        Self {
+            area_budget: 0.1,
+            hardening_factor: 0.1,
+            area_overhead: 1.0,
+            max_picks: 0,
+        }
+    }
+}
+
+impl HardenConfig {
+    /// An advisor spending at most `area_budget` (a fraction of total
+    /// cell area) with default hardening characteristics.
+    pub fn new(area_budget: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&area_budget),
+            "area budget is a fraction of total area"
+        );
+        Self {
+            area_budget,
+            ..Self::default()
+        }
+    }
+}
+
+/// Relative cell-area proxy per gate kind (unit = one inverter-ish
+/// cell). Only the *ratios* matter to the greedy knapsack.
+pub fn cell_area(kind: GateKind, fanin_count: usize) -> f64 {
+    match kind {
+        GateKind::Buf | GateKind::Not => 1.0,
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            2.0 + 0.5 * fanin_count.saturating_sub(2) as f64
+        }
+        GateKind::Xor | GateKind::Xnor | GateKind::Mux => 3.0,
+        GateKind::Dff => 4.0,
+        GateKind::Input | GateKind::Output | GateKind::Const0 | GateKind::Const1 => 0.0,
+    }
+}
+
+/// One strike site's hardening economics.
+#[derive(Debug, Clone)]
+pub struct HardenCandidate {
+    /// The cell.
+    pub gate: GateId,
+    /// Its name in the netlist.
+    pub name: String,
+    /// Its kind.
+    pub kind: GateKind,
+    /// Raw rate `err(g)` under the unhardened model.
+    pub rate: f64,
+    /// The cell's own area ([`cell_area`]).
+    pub area: f64,
+    /// Extra area hardening this cell costs
+    /// (`area × area_overhead`).
+    pub cost: f64,
+    /// The site's SER contribution per the Monte-Carlo campaign
+    /// (`total_rate × latches_site / injections`).
+    pub mc_contribution: f64,
+    /// The site's SER contribution per the propagation-probability
+    /// engine (`err(g) × prop(g) × |ELW(g)|/Φ`).
+    pub pp_contribution: f64,
+    /// Expected SER reduction from hardening this cell:
+    /// `(1 − hardening_factor)` times the engine-averaged contribution.
+    pub payoff: f64,
+    /// Payoff per unit of hardening area — the greedy ranking key.
+    pub score: f64,
+    /// Whether the greedy pass selected this cell.
+    pub selected: bool,
+}
+
+/// A ranked hardening plan.
+#[derive(Debug, Clone)]
+pub struct HardenPlan {
+    /// Circuit name.
+    pub circuit: String,
+    /// The advisor parameters the plan was built under.
+    pub config: HardenConfig,
+    /// Total cell area of the circuit (markers excluded).
+    pub total_area: f64,
+    /// Area the budget allows (`area_budget × total_area`).
+    pub budget_area: f64,
+    /// Hardening area actually spent.
+    pub spent_area: f64,
+    /// The unhardened SER (campaign estimate).
+    pub ser_before: f64,
+    /// Every strikeable cell, ranked by score (best first); the
+    /// selected ones form the plan.
+    pub candidates: Vec<HardenCandidate>,
+}
+
+impl HardenPlan {
+    /// The selected cells, best first.
+    pub fn selected(&self) -> Vec<&HardenCandidate> {
+        self.candidates.iter().filter(|c| c.selected).collect()
+    }
+
+    /// Predicted SER after hardening (engine-averaged payoffs
+    /// subtracted from the campaign baseline).
+    pub fn predicted_ser(&self) -> f64 {
+        let saved: f64 = self.selected().iter().map(|c| c.payoff).sum();
+        (self.ser_before - saved).max(0.0)
+    }
+
+    /// The rate model with every selected cell hardened — feed this to
+    /// any estimator (or [`HardenPlan::validate`]) to measure the plan.
+    pub fn hardened_rates(&self, base: &ser_engine::ErrorRateModel) -> ser_engine::ErrorRateModel {
+        let mut model = base.clone();
+        for c in self.selected() {
+            model = model.with_gate_scale(c.name.clone(), self.config.hardening_factor);
+        }
+        model
+    }
+
+    /// Validates the plan: re-runs the same campaign (same seed, same
+    /// injections) with the hardened rate model and returns
+    /// `(ser_before, ser_after)` — the realized, not predicted, drop.
+    ///
+    /// # Errors
+    ///
+    /// [`retime::RetimeError`] if the circuit cannot be modeled.
+    pub fn validate(
+        &self,
+        circuit: &Circuit,
+        config: &SerConfig,
+        campaign: &CampaignConfig,
+    ) -> Result<(f64, f64), retime::RetimeError> {
+        let hardened = SerConfig {
+            rates: self.hardened_rates(&config.rates),
+            ..config.clone()
+        };
+        let after = run_campaign(circuit, &hardened, campaign)?;
+        Ok((self.ser_before, after.ser()))
+    }
+
+    /// The plan as CSV (`rank` counts selected cells first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "rank,name,kind,rate,area,cost,mc_contribution,pp_contribution,payoff,score,selected\n",
+        );
+        for (rank, c) in self.candidates.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{:.6e},{:.1},{:.1},{:.6e},{:.6e},{:.6e},{:.6e},{}\n",
+                rank + 1,
+                c.name,
+                c.kind,
+                c.rate,
+                c.area,
+                c.cost,
+                c.mc_contribution,
+                c.pp_contribution,
+                c.payoff,
+                c.score,
+                c.selected
+            ));
+        }
+        out
+    }
+
+    /// Human-readable plan summary.
+    pub fn summary(&self) -> String {
+        let selected = self.selected();
+        let mut out = format!(
+            "hardening plan {}: budget {:.1} of {:.1} area units ({:.0}%), spent {:.1} on {} cells\n",
+            self.circuit,
+            self.budget_area,
+            self.total_area,
+            self.config.area_budget * 100.0,
+            self.spent_area,
+            selected.len()
+        );
+        out.push_str(&format!(
+            "  SER {:.4e} -> predicted {:.4e} ({:.1}% reduction predicted)\n",
+            self.ser_before,
+            self.predicted_ser(),
+            if self.ser_before > 0.0 {
+                (1.0 - self.predicted_ser() / self.ser_before) * 100.0
+            } else {
+                0.0
+            }
+        ));
+        for (i, c) in selected.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:>2}. {} ({}) payoff {:.3e} / area {:.1} -> score {:.3e}\n",
+                i + 1,
+                c.name,
+                c.kind,
+                c.payoff,
+                c.cost,
+                c.score
+            ));
+        }
+        out
+    }
+}
+
+/// Builds a hardening plan: runs a Monte-Carlo campaign and the
+/// propagation-probability engine, cross-scores every strikeable cell,
+/// and greedily picks the best payoff-per-area under the budget.
+///
+/// # Errors
+///
+/// [`EstimateError`] if either engine fails.
+pub fn advise(
+    circuit: &Circuit,
+    config: &SerConfig,
+    campaign: &CampaignConfig,
+    harden: &HardenConfig,
+) -> Result<HardenPlan, EstimateError> {
+    let mc = run_campaign(circuit, config, campaign).map_err(EstimateError::from)?;
+    let pp = PropProbEstimator.estimate(circuit, config)?;
+    Ok(plan_from_scores(circuit, &mc, &pp.site_p, harden))
+}
+
+/// The deterministic planning half of [`advise`], taking the campaign
+/// and the propagation-probability per-site latch probabilities as
+/// inputs (so callers holding a finished campaign reuse it).
+pub fn plan_from_scores(
+    circuit: &Circuit,
+    mc: &CampaignResult,
+    pp_site_p: &[f64],
+    harden: &HardenConfig,
+) -> HardenPlan {
+    assert_eq!(pp_site_p.len(), circuit.len(), "per-gate probabilities");
+    let total_area: f64 = circuit
+        .iter()
+        .map(|(_, g)| cell_area(g.kind(), g.fanins().len()))
+        .sum();
+    let budget_area = harden.area_budget * total_area;
+    let keep = 1.0 - harden.hardening_factor;
+    let mut candidates: Vec<HardenCandidate> = mc
+        .sites
+        .iter()
+        .filter(|s| s.rate > 0.0)
+        .map(|s| {
+            let gate = circuit.gate(s.gate);
+            let area = cell_area(gate.kind(), gate.fanins().len());
+            let cost = area * harden.area_overhead;
+            // Importance sampling puts trials ∝ err(g), so the site's
+            // share of the campaign SER is total_rate × latches/N.
+            let mc_contribution = if mc.injections == 0 {
+                0.0
+            } else {
+                mc.total_rate * s.latches as f64 / mc.injections as f64
+            };
+            let pp_contribution = s.rate * pp_site_p[s.gate.index()];
+            let payoff = keep * 0.5 * (mc_contribution + pp_contribution);
+            HardenCandidate {
+                gate: s.gate,
+                name: gate.name().to_string(),
+                kind: gate.kind(),
+                rate: s.rate,
+                area,
+                cost,
+                mc_contribution,
+                pp_contribution,
+                payoff,
+                score: if cost > 0.0 { payoff / cost } else { 0.0 },
+                selected: false,
+            }
+        })
+        .collect();
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.gate.cmp(&b.gate)));
+    let mut spent_area = 0.0;
+    let mut picks = 0usize;
+    for c in &mut candidates {
+        if harden.max_picks > 0 && picks >= harden.max_picks {
+            break;
+        }
+        if c.payoff <= 0.0 {
+            break;
+        }
+        if spent_area + c.cost > budget_area {
+            continue;
+        }
+        c.selected = true;
+        spent_area += c.cost;
+        picks += 1;
+    }
+    HardenPlan {
+        circuit: circuit.name().to_string(),
+        config: harden.clone(),
+        total_area,
+        budget_area,
+        spent_area,
+        ser_before: mc.ser(),
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn plan_respects_the_budget_and_reduces_ser() {
+        let c = samples::s27_like();
+        let config = SerConfig::small(30);
+        let campaign = CampaignConfig::new(40_000).with_seed(11);
+        let plan = advise(&c, &config, &campaign, &HardenConfig::new(0.3)).unwrap();
+        assert!(plan.spent_area <= plan.budget_area + 1e-9);
+        assert!(!plan.selected().is_empty(), "30% budget picks something");
+        assert!(plan.predicted_ser() < plan.ser_before);
+        // Validation: the realized campaign under hardened rates drops.
+        let (before, after) = plan.validate(&c, &config, &campaign).unwrap();
+        assert_eq!(before, plan.ser_before);
+        assert!(
+            after < before,
+            "hardening must reduce measured SER: {after} vs {before}"
+        );
+        // Ranked output is well-formed.
+        let csv = plan.to_csv();
+        assert!(csv.starts_with("rank,name,kind"));
+        assert_eq!(csv.lines().count(), plan.candidates.len() + 1);
+        assert!(plan.summary().contains("hardening plan"));
+    }
+
+    #[test]
+    fn zero_budget_hardens_nothing() {
+        let c = samples::fig1_like();
+        let config = SerConfig::small(25);
+        let plan = advise(
+            &c,
+            &config,
+            &CampaignConfig::new(2_000),
+            &HardenConfig::new(0.0),
+        )
+        .unwrap();
+        assert!(plan.selected().is_empty());
+        assert_eq!(plan.spent_area, 0.0);
+        assert_eq!(plan.predicted_ser(), plan.ser_before);
+    }
+
+    #[test]
+    fn max_picks_caps_the_plan() {
+        let c = samples::s27_like();
+        let config = SerConfig::small(30);
+        let harden = HardenConfig {
+            max_picks: 1,
+            ..HardenConfig::new(1.0)
+        };
+        let plan = advise(&c, &config, &CampaignConfig::new(5_000), &harden).unwrap();
+        assert_eq!(plan.selected().len(), 1);
+        // The pick is the top-scored candidate.
+        assert!(plan.candidates[0].selected);
+    }
+
+    #[test]
+    fn hardened_rates_scale_only_selected_cells() {
+        let c = samples::s27_like();
+        let config = SerConfig::small(30);
+        let harden = HardenConfig {
+            max_picks: 2,
+            ..HardenConfig::new(1.0)
+        };
+        let plan = advise(&c, &config, &CampaignConfig::new(5_000), &harden).unwrap();
+        let model = plan.hardened_rates(&config.rates);
+        assert_eq!(model.num_gate_scales(), 2);
+        for cand in &plan.candidates {
+            let expect = if cand.selected {
+                harden.hardening_factor
+            } else {
+                1.0
+            };
+            assert_eq!(model.gate_scale(&cand.name), expect, "{}", cand.name);
+        }
+    }
+
+    #[test]
+    fn area_proxy_orders_kinds_sensibly() {
+        assert!(cell_area(GateKind::Dff, 1) > cell_area(GateKind::Xor, 2));
+        assert!(cell_area(GateKind::Xor, 2) > cell_area(GateKind::Nand, 2));
+        assert!(cell_area(GateKind::Nand, 4) > cell_area(GateKind::Nand, 2));
+        assert_eq!(cell_area(GateKind::Input, 0), 0.0);
+    }
+}

@@ -21,6 +21,17 @@
 //!   [`ser_engine::SerReport`], with Wilson confidence intervals and a
 //!   documented tolerance for the ODC reconvergence approximation.
 //!
+//! On top of those sit the estimator-facing layers:
+//!
+//! * [`MonteCarloEstimator`] — the campaign behind the suite's one
+//!   [`ser_engine::SerEstimator`] front door,
+//! * [`check_agreement`] — the three-way (analytic / propprob /
+//!   Monte-Carlo, plus the exhaustive oracle when feasible) agreement
+//!   oracle with per-pair-class tolerance bands,
+//! * [`advise`] — the selective-hardening advisor, cross-scoring each
+//!   strike site's SER contribution by two independent engines and
+//!   greedily spending an area budget on the best payoff.
+//!
 //! No external dependencies: the PRNG is [`netlist::rng`] (the same
 //! deterministic xoshiro256\*\* the rest of the suite uses).
 //!
@@ -48,14 +59,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod agreement;
 mod atlas;
 mod campaign;
 mod crosscheck;
+mod estimator;
+mod harden;
 mod stats;
 
+pub use agreement::{
+    check_agreement, AgreementReport, PairVerdict, SiteDivergence, ToleranceBands,
+};
 pub use atlas::{FaultAtlas, Site};
 pub use campaign::{
     folded_elw_fraction, run_campaign, run_campaign_on, CampaignConfig, CampaignResult, SiteStats,
 };
 pub use crosscheck::{CrossCheck, SiteComparison, DEFAULT_TOLERANCE};
+pub use estimator::MonteCarloEstimator;
+pub use harden::{advise, cell_area, plan_from_scores, HardenCandidate, HardenConfig, HardenPlan};
 pub use stats::wilson_interval;

@@ -128,6 +128,39 @@ pub fn analyze_with_observability(
     config: &SerConfig,
     observability: &Observability,
 ) -> Result<SerReport, retime::RetimeError> {
+    report_from_observabilities(
+        circuit,
+        config,
+        observability.as_slice(),
+        *observability.engine(),
+    )
+}
+
+/// Assembles the full eq. (4) [`SerReport`] from *any* per-gate
+/// observability estimate — the shared back half of every estimator
+/// (analytic ODC, propagation-probability, exhaustive enumeration):
+/// the ELW/timing-masking factor, the per-gate rate weighting and the
+/// register-takes-its-driver convention are identical across engines,
+/// so only the logic-masking front end differs between them.
+///
+/// `gate_obs` is indexed by [`GateId`]; entries for `Dff` gates are
+/// ignored (a register is a wire in the expansion and carries its
+/// driving gate's observability and window).
+///
+/// # Errors
+///
+/// See [`analyze`].
+///
+/// # Panics
+///
+/// Panics if `gate_obs.len() != circuit.len()`.
+pub fn report_from_observabilities(
+    circuit: &Circuit,
+    config: &SerConfig,
+    gate_obs: &[f64],
+    engine: EngineReport,
+) -> Result<SerReport, retime::RetimeError> {
+    assert_eq!(gate_obs.len(), circuit.len(), "one entry per gate");
     let graph = RetimeGraph::from_circuit(circuit, &config.delays)?;
     let r = Retiming::zero(&graph);
     let vertex_elws = compute_elws(&graph, &r, config.elw)?;
@@ -142,13 +175,13 @@ pub fn analyze_with_observability(
                 // Registers take their driving gate's observability and
                 // window (they are wires in the expansion).
                 let driver = register_driver(circuit, id);
-                obs[id.index()] = observability.obs(driver);
+                obs[id.index()] = gate_obs[driver.index()];
                 let v = graph.vertex_of(driver).expect("driver is combinational");
                 elws[id.index()] = vertex_elws[v.index()].clone();
                 elw_size[id.index()] = elws[id.index()].total_length();
             }
             _ => {
-                obs[id.index()] = observability.obs(id);
+                obs[id.index()] = gate_obs[id.index()];
                 let v = graph.vertex_of(id).expect("combinational vertex");
                 elws[id.index()] = vertex_elws[v.index()].clone();
                 elw_size[id.index()] = elws[id.index()].total_length();
@@ -187,7 +220,7 @@ pub fn analyze_with_observability(
         elw_size,
         elws,
         phi,
-        engine: *observability.engine(),
+        engine,
     })
 }
 

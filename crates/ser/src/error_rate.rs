@@ -26,6 +26,11 @@ use netlist::{Circuit, GateId, GateKind};
 pub struct ErrorRateModel {
     rates: [f64; 14],
     per_extra_fanin: f64,
+    /// Per-gate multiplicative scales keyed by gate name — how the
+    /// hardening advisor models a protected (DICE/TMR-style) cell:
+    /// the kind characterization stays intact, the named instance's
+    /// raw rate is multiplied by the (usually ≪ 1) scale.
+    gate_scales: Vec<(String, f64)>,
 }
 
 fn kind_slot(kind: GateKind) -> usize {
@@ -66,6 +71,7 @@ impl Default for ErrorRateModel {
         Self {
             rates,
             per_extra_fanin: 0.4e-6,
+            gate_scales: Vec::new(),
         }
     }
 }
@@ -92,17 +98,45 @@ impl ErrorRateModel {
         base + fanin_count.saturating_sub(2) as f64 * self.per_extra_fanin
     }
 
-    /// Raw rate of one gate of a circuit.
+    /// Scales one named gate instance's raw rate (chainable) — the
+    /// hardening advisor's model of a protected cell. A repeated name
+    /// replaces the earlier scale rather than compounding it.
+    pub fn with_gate_scale(mut self, name: impl Into<String>, scale: f64) -> Self {
+        let name = name.into();
+        assert!(scale >= 0.0, "hardening scale must be non-negative");
+        if let Some(slot) = self.gate_scales.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = scale;
+        } else {
+            self.gate_scales.push((name, scale));
+        }
+        self
+    }
+
+    /// The per-instance scale applied to `name` (1.0 when unhardened).
+    pub fn gate_scale(&self, name: &str) -> f64 {
+        self.gate_scales
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(1.0, |(_, s)| *s)
+    }
+
+    /// Number of per-instance overrides installed.
+    pub fn num_gate_scales(&self) -> usize {
+        self.gate_scales.len()
+    }
+
+    /// Raw rate of one gate of a circuit (kind characterization times
+    /// any per-instance hardening scale).
     pub fn rate(&self, circuit: &Circuit, id: GateId) -> f64 {
         let gate = circuit.gate(id);
-        self.kind_rate(gate.kind(), gate.fanins().len())
+        self.kind_rate(gate.kind(), gate.fanins().len()) * self.gate_scale(gate.name())
     }
 
     /// Rates of all gates, indexed by [`GateId`].
     pub fn rates(&self, circuit: &Circuit) -> Vec<f64> {
         circuit
             .iter()
-            .map(|(_, g)| self.kind_rate(g.kind(), g.fanins().len()))
+            .map(|(id, _)| self.rate(circuit, id))
             .collect()
     }
 }
@@ -151,5 +185,28 @@ mod tests {
     fn override_chains() {
         let m = ErrorRateModel::default().with_kind_rate(GateKind::Not, 9.0);
         assert_eq!(m.kind_rate(GateKind::Not, 1), 9.0);
+    }
+
+    #[test]
+    fn gate_scale_applies_per_instance() {
+        let mut b = CircuitBuilder::new("h");
+        b.input("a");
+        b.gate("x", GateKind::Nand, &["a", "a"]).unwrap();
+        b.gate("y", GateKind::Nand, &["a", "a"]).unwrap();
+        b.output("x").unwrap();
+        b.output("y").unwrap();
+        let c = b.build().unwrap();
+        let base = ErrorRateModel::default();
+        let m = base.clone().with_gate_scale("x", 0.1);
+        let x = c.find("x").unwrap();
+        let y = c.find("y").unwrap();
+        assert!((m.rate(&c, x) - 0.1 * base.rate(&c, x)).abs() < 1e-18);
+        assert_eq!(m.rate(&c, y), base.rate(&c, y), "siblings untouched");
+        assert_eq!(m.gate_scale("x"), 0.1);
+        assert_eq!(m.gate_scale("y"), 1.0);
+        // Re-scaling the same name replaces, not compounds.
+        let m2 = m.with_gate_scale("x", 0.5);
+        assert_eq!(m2.gate_scale("x"), 0.5);
+        assert_eq!(m2.num_gate_scales(), 1);
     }
 }

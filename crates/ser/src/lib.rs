@@ -19,7 +19,13 @@
 //!   windows, eq. (3) (ref \[15\]),
 //! * [`ErrorRateModel`]: raw per-gate rates `err(g)` (synthetic
 //!   SPICE-characterization stand-in for ref \[25\]; see DESIGN.md),
-//! * [`analyze`]: the full SER of a sequential circuit, eq. (4).
+//! * [`analyze`]: the full SER of a sequential circuit, eq. (4),
+//! * [`propprob::PropProb`]: an independent propagation-probability
+//!   estimator (Asadi & Tahoori style) of the same quantity,
+//! * [`exact::exact_report`]: an exhaustive truth-table oracle for
+//!   small circuits,
+//! * [`SerEstimator`]: the one trait all estimation engines (including
+//!   `faultsim`'s Monte-Carlo engine) stand behind.
 //!
 //! # Examples
 //!
@@ -43,18 +49,30 @@ mod arena;
 pub mod elw;
 pub mod equiv;
 mod error_rate;
+pub mod estimate;
+pub mod exact;
 pub mod odc;
+pub mod propprob;
 pub mod scalar;
 mod signature;
 pub mod sim;
 
 pub use analysis::{
-    analyze, analyze_with_observability, register_driver, vertex_observabilities, SerConfig,
-    SerReport,
+    analyze, analyze_with_observability, register_driver, report_from_observabilities,
+    vertex_observabilities, SerConfig, SerReport,
 };
 pub use arena::{SigRef, SignatureArena};
 pub use elw::IntervalSet;
 pub use error_rate::ErrorRateModel;
+pub use estimate::{
+    AnalyticEstimator, EngineKind, EstimateError, ExactEstimator, PropProbEstimator, SerEstimate,
+    SerEstimator,
+};
+pub use exact::{exact_feasible, exact_report, exact_source_bits, DEFAULT_MAX_SOURCE_BITS};
 pub use odc::SABOTAGE_ODC_SEED;
+pub use propprob::{
+    propprob_report, propprob_report_with_trace, PropProb, SABOTAGE_ESTIMATE_SEED,
+    SABOTAGE_PROP_SEED,
+};
 pub use signature::{eval_gate, signature_allocs, Signature};
 pub use sim::{EngineReport, SABOTAGE_SIM_SEED};

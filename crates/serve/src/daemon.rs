@@ -699,6 +699,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
         ("ser", Json::num(method_result.ser)),
         ("delta_ser", Json::num(method_result.delta_ser)),
         ("ser_original", Json::num(run.ser_original)),
+        ("ser_propprob", Json::num(run.ser_propprob)),
         ("phi", Json::num(run.phi as f64)),
         ("r_min", Json::num(run.r_min as f64)),
         (

@@ -1,17 +1,24 @@
 //! Optimality cross-checks: the paper's incremental algorithm against
 //! the exact W/D-matrix + min-cost-flow reference, and against
 //! exhaustive enumeration on tiny instances (including the
-//! P2-constrained problem, where no convex reference exists).
+//! P2-constrained problem, where no convex reference exists) — plus
+//! the three-way SER estimator agreement suite over the Table I twin
+//! circuits, including a sabotage test proving the suite actually
+//! fails when an estimator is wrong.
 
+use faultsim::{check_agreement, MonteCarloEstimator, ToleranceBands};
 use minobswin::algorithm::SolverConfig;
+use minobswin::experiment::RunConfig;
 use minobswin::verify::check_feasible;
 use minobswin::{Problem, SolverSession};
-use netlist::generator::GeneratorConfig;
+use netlist::generator::{table1_twin, GeneratorConfig, TABLE1_ROWS};
 use netlist::rng::Xoshiro256;
-use netlist::{samples, DelayModel};
+use netlist::{samples, Circuit, DelayModel};
 use retime::minarea_ref::{exhaustive_minimize, solve_exact};
 use retime::timing::clock_period;
 use retime::{ElwParams, LrLabels, RetimeGraph, Retiming, VertexId};
+use ser_engine::sim::SimConfig;
+use ser_engine::{EngineKind, SerConfig, SABOTAGE_ESTIMATE_SEED};
 
 fn objective(graph: &RetimeGraph, b: &[i64], r: &Retiming) -> i64 {
     (1..graph.num_vertices())
@@ -190,4 +197,178 @@ fn descent_is_monotone_and_final_state_stable() {
         .run()
         .unwrap();
     assert!(bidir.objective_gain >= sol.objective_gain);
+}
+
+// ---------------------------------------------------------------------------
+// Three-way SER estimator agreement (PR 8)
+// ---------------------------------------------------------------------------
+
+/// A Φ-fitted estimation config for the agreement suite: small
+/// deterministic simulation, Φ from the same initialization the
+/// experiment pipeline uses.
+fn agreement_config(circuit: &Circuit, vectors: usize, frames: usize) -> SerConfig {
+    let defaults = RunConfig::default();
+    let graph = RetimeGraph::from_circuit(circuit, &defaults.delays).unwrap();
+    let init = defaults.init.initialize(&graph).unwrap();
+    SerConfig {
+        sim: SimConfig {
+            num_vectors: vectors,
+            frames,
+            warmup: 4,
+            seed: 0xC0FFEE,
+            threads: 0,
+        },
+        delays: defaults.delays.clone(),
+        rates: defaults.rates.clone(),
+        elw: ElwParams {
+            phi: init.phi,
+            t_setup: defaults.init.t_setup,
+            t_hold: defaults.init.t_hold,
+        },
+    }
+}
+
+/// Documented per-circuit tolerance bands for the Table I twins
+/// (calibrated 2026-08 at scale 192, 256 vectors × 6 frames, 12k
+/// injections, fixed seeds — the whole pipeline is bit-deterministic,
+/// so the measured gaps below are reproducible, and each band carries
+/// ≥ 1.2× headroom over its measured gap).
+///
+/// Two regimes:
+///
+/// * **Deterministic pairs** (analytic vs propprob): both engines make
+///   the same independence approximation, so they track each other
+///   tightly everywhere — worst measured gap 15.5% (b18 twin); the
+///   default 25% band holds for all 21 circuits.
+/// * **Sampled pairs** (anything vs Monte-Carlo): the gap *is* the
+///   reconvergence error of the independence approximation, because
+///   the campaign actually propagates each fault. On most twins it
+///   stays under 25%, but dense arithmetic cones (XOR-heavy
+///   reconvergent fanout in the `b`-series twins) make the analytic
+///   observabilities saturate toward 1 where correlated paths really
+///   cancel: measured 57% on the b21 twin and 83% on the b18_1 twin
+///   (e.g. site n60: analytic latch probability 0.81, campaign 0.00).
+///   Those circuits carry wide documented bands — the agreement check
+///   there guards the order of magnitude, while the deterministic
+///   pairs stay sharp.
+fn bands_for(name: &str) -> ToleranceBands {
+    let sampled_pair = match name {
+        "b18_1_opt" => 0.90,            // measured 0.83
+        "b21_opt" => 0.75,              // measured 0.57
+        "b22_1_opt" => 0.45,            // measured 0.27
+        "s13207" | "b17_1_opt" => 0.35, // measured 0.23
+        _ => 0.30,                      // measured ≤ 0.19
+    };
+    ToleranceBands {
+        sampled_pair,
+        ..ToleranceBands::default()
+    }
+}
+
+#[test]
+fn table1_twins_three_way_agreement() {
+    // Every Table I circuit (tiny twins, as in `table1_smoke`): the
+    // analytic, Monte-Carlo and propagation-probability engines must
+    // agree pairwise within the documented bands. The exact oracle
+    // joins automatically on twins small enough to enumerate.
+    let mut checked = 0usize;
+    for row in &TABLE1_ROWS {
+        let circuit = table1_twin(row, 192);
+        let config = agreement_config(&circuit, 256, 6);
+        let campaign = MonteCarloEstimator::new(12_000);
+        let report = check_agreement(&circuit, &config, &campaign, bands_for(row.name)).unwrap();
+        assert!(
+            report.agrees(),
+            "{}: estimators disagree\n{}",
+            row.name,
+            report.summary()
+        );
+        // All-vs-all: n engines yield n(n-1)/2 verdicts.
+        let n = report.estimates.len();
+        assert_eq!(report.pairs.len(), n * (n - 1) / 2, "{}", row.name);
+        checked += 1;
+    }
+    assert_eq!(
+        checked,
+        TABLE1_ROWS.len(),
+        "every Table I circuit must be judged"
+    );
+}
+
+#[test]
+fn sabotaged_estimator_is_caught_by_the_agreement_suite() {
+    // Fault-hook drill for the suite itself: the magic simulation seed
+    // activates a deliberate skew inside the propagation-probability
+    // engine (obs ↦ 0.5·obs + 0.25). If the agreement oracle cannot
+    // catch that, its bands are too loose to catch a real bug.
+    //
+    // The drill circuit is a deep AND chain with a fresh input per
+    // stage: logical masking decays geometrically with depth, so the
+    // early gates have true observability ~2^-29 (all engines report
+    // ~0 there), while the sabotage floors every site at 0.25 —
+    // inflating the propprob SER several-fold. Exactly the kind of
+    // silent per-site corruption the oracle exists to catch. (A dead
+    // cone would not work here: unobservable gates have an empty
+    // error-latching window, so eq. (4) zeroes them no matter how the
+    // observability is skewed.)
+    let circuit = {
+        let mut b = netlist::CircuitBuilder::new("sabotage_drill");
+        b.input("i0");
+        b.dff("q", "i0").unwrap();
+        let mut prev = "q".to_string();
+        for k in 0..30 {
+            let input = format!("i{}", k + 1);
+            b.input(&input);
+            let name = format!("c{k}");
+            b.gate(&name, netlist::GateKind::And, &[&prev, &input])
+                .unwrap();
+            prev = name;
+        }
+        b.output(&prev).unwrap();
+        b.build().unwrap()
+    };
+    let mut config = agreement_config(&circuit, 256, 6);
+    config.sim.seed = SABOTAGE_ESTIMATE_SEED;
+    let campaign = MonteCarloEstimator::new(20_000);
+    let report = check_agreement(&circuit, &config, &campaign, ToleranceBands::default()).unwrap();
+    assert!(
+        !report.agrees(),
+        "sabotaged propprob engine slipped past the oracle\n{}",
+        report.summary()
+    );
+    // The divergence must implicate the sabotaged engine specifically.
+    assert!(
+        report
+            .divergent()
+            .iter()
+            .all(|p| p.a == EngineKind::PropProb || p.b == EngineKind::PropProb),
+        "divergence blamed on the wrong engines\n{}",
+        report.summary()
+    );
+    // And the healthy engines still agree with each other.
+    assert!(
+        report
+            .pairs
+            .iter()
+            .filter(|p| p.a != EngineKind::PropProb && p.b != EngineKind::PropProb)
+            .all(|p| p.agrees),
+        "healthy pairs should stay in agreement\n{}",
+        report.summary()
+    );
+    // Control: with the sabotage seed removed, the same circuit passes
+    // — the divergence above is caused by the injected bug, nothing
+    // else.
+    let control_config = agreement_config(&circuit, 256, 6);
+    let control = check_agreement(
+        &circuit,
+        &control_config,
+        &campaign,
+        ToleranceBands::default(),
+    )
+    .unwrap();
+    assert!(
+        control.agrees(),
+        "control run without sabotage must agree\n{}",
+        control.summary()
+    );
 }

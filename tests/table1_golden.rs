@@ -1,0 +1,163 @@
+//! Golden regression lock on the Table I pipeline.
+//!
+//! Runs the full Table I harness at the tiny deterministic scale and
+//! compares every *deterministic* field — graph sizes, Φ, R_min,
+//! setup/hold path, eq. (4) SER of the original circuit, the
+//! propagation-probability second opinion, and the per-method register
+//! counts / SER / `#J` commit counters — against a committed golden
+//! file, field by field, with a readable diff on mismatch.
+//!
+//! Wall-clock fields (`solve_seconds`) are deliberately excluded: they
+//! are the only non-deterministic part of a row (PR 5 made everything
+//! else bit-identical across thread counts).
+//!
+//! To regenerate after an *intentional* pipeline change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -q --test table1_golden
+//! ```
+//!
+//! and commit the updated `tests/fixtures/table1_golden.txt` alongside
+//! the change that moved the numbers.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use bench_harness::table1::{run_table1, Table1Options, Table1Row};
+
+const FIELDS: [&str; 15] = [
+    "v",
+    "e",
+    "ff",
+    "phi",
+    "r_min",
+    "used_setup_hold",
+    "ser_original",
+    "ser_propprob",
+    "minobs.registers",
+    "minobs.ser",
+    "minobs.commits",
+    "minobswin.registers",
+    "minobswin.ser",
+    "minobswin.commits",
+    "ser_ratio",
+];
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/table1_golden.txt")
+}
+
+/// One `name|field=value|...` line per circuit, full float precision.
+fn render(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("# Table I golden lock (tiny scale); regenerate with UPDATE_GOLDEN=1\n");
+    out.push_str(&format!("# fields: {}\n", FIELDS.join(" ")));
+    for row in rows {
+        let r = &row.run;
+        let values: [String; 15] = [
+            r.v.to_string(),
+            r.e.to_string(),
+            r.ff.to_string(),
+            r.phi.to_string(),
+            r.r_min.to_string(),
+            r.used_setup_hold.to_string(),
+            format!("{:e}", r.ser_original),
+            format!("{:e}", r.ser_propprob),
+            r.minobs.registers.to_string(),
+            format!("{:e}", r.minobs.ser),
+            r.minobs.stats.commits.to_string(),
+            r.minobswin.registers.to_string(),
+            format!("{:e}", r.minobswin.ser),
+            r.minobswin.stats.commits.to_string(),
+            format!("{:e}", r.ser_ratio()),
+        ];
+        write!(out, "{}", row.paper_name).unwrap();
+        for (field, value) in FIELDS.iter().zip(values.iter()) {
+            write!(out, "|{field}={value}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a golden file into `(name, [(field, value)])` records.
+fn parse(text: &str) -> Vec<(String, Vec<(String, String)>)> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|line| {
+            let mut parts = line.split('|');
+            let name = parts.next().unwrap().to_string();
+            let fields = parts
+                .map(|p| {
+                    let (k, v) = p.split_once('=').expect("field=value");
+                    (k.to_string(), v.to_string())
+                })
+                .collect();
+            (name, fields)
+        })
+        .collect()
+}
+
+#[test]
+fn table1_matches_the_committed_golden_file() {
+    let rows = run_table1(&Table1Options::tiny());
+    assert!(
+        rows.len() >= 20,
+        "Table I harness produced only {} rows",
+        rows.len()
+    );
+    let rendered = render(&rows);
+    let path = golden_path();
+
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("table1_golden: regenerated {}", path.display());
+        return;
+    }
+
+    let golden_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let golden = parse(&golden_text);
+    let got = parse(&rendered);
+
+    // Build the readable per-field diff before judging anything.
+    let mut diff = String::new();
+    let golden_names: Vec<&str> = golden.iter().map(|(n, _)| n.as_str()).collect();
+    let got_names: Vec<&str> = got.iter().map(|(n, _)| n.as_str()).collect();
+    for name in &golden_names {
+        if !got_names.contains(name) {
+            writeln!(diff, "  {name}: present in golden, missing from this run").unwrap();
+        }
+    }
+    for name in &got_names {
+        if !golden_names.contains(name) {
+            writeln!(diff, "  {name}: produced by this run, absent from golden").unwrap();
+        }
+    }
+    for (name, want_fields) in &golden {
+        let Some((_, got_fields)) = got.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        for (field, want) in want_fields {
+            match got_fields.iter().find(|(f, _)| f == field) {
+                Some((_, have)) if have == want => {}
+                Some((_, have)) => {
+                    writeln!(diff, "  {name}.{field}: golden {want} vs got {have}").unwrap()
+                }
+                None => writeln!(diff, "  {name}.{field}: missing from this run").unwrap(),
+            }
+        }
+    }
+
+    assert!(
+        diff.is_empty(),
+        "Table I drifted from {}:\n{diff}\
+         If the change is intentional, regenerate with UPDATE_GOLDEN=1 \
+         and commit the new golden file.",
+        path.display()
+    );
+}

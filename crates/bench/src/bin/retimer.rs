@@ -116,6 +116,11 @@
 //!                                    (default 64; over it: backpressure)
 //!   --time-budget SECS               default per-job wall-clock budget
 //!   --max-iters N                    default per-job iteration budget
+//!   --cache-max-bytes SIZE           LRU-evict cache stages past SIZE
+//!                                    (plain bytes or k/m/g suffix)
+//!   --fsck                           run one cache-integrity pass (remove
+//!                                    tmp orphans, quarantine corrupt
+//!                                    entries), print a report, exit
 //!   --socket PATH                    listen on a unix socket instead of stdin
 //!
 //! retimer bench-ser [options]
@@ -1245,9 +1250,22 @@ fn run_bench_ser() -> Result<u8, CliError> {
 }
 
 /// `retimer serve`: boots the daemon (crates/serve) on stdin/stdout or
-/// a unix socket and runs it until drained.
+/// a unix socket and runs it until drained. `--fsck` instead runs one
+/// standalone cache-integrity pass and exits.
 fn run_serve() -> Result<u8, CliError> {
-    let (config, socket) = parse_serve_args()?;
+    // Chaos and soak harnesses opt into filesystem fault injection
+    // via SABOTAGE_FIO_PLAN (a malformed plan warns and stays inert).
+    if let Some(plan) = netlist::fio::install_from_env() {
+        eprintln!("warning: filesystem fault injection active: {plan:?}");
+    }
+    let (config, socket, fsck) = parse_serve_args()?;
+    if fsck {
+        let cache = serve::ResultCache::open(&config.cache_dir)
+            .map_err(|e| CliError::Usage(format!("--fsck: {}: {e}", config.cache_dir.display())))?
+            .with_max_bytes(config.cache_max_bytes);
+        println!("{}", cache.fsck().to_json());
+        return Ok(0);
+    }
     let outcome = match socket {
         Some(path) => serve::run_socket(config, Path::new(&path)),
         None => serve::run_stdio(config),
@@ -1255,10 +1273,27 @@ fn run_serve() -> Result<u8, CliError> {
     outcome.map_err(CliError::Usage)
 }
 
-fn parse_serve_args() -> Result<(serve::ServeConfig, Option<String>), String> {
+/// Parses a byte size: plain bytes, or with a `k`/`m`/`g` suffix
+/// (binary multiples, case-insensitive).
+fn parse_byte_size(s: &str) -> Option<u64> {
+    let (digits, mult) = match s.trim().to_ascii_lowercase() {
+        t if t.ends_with('k') => (t[..t.len() - 1].to_string(), 1u64 << 10),
+        t if t.ends_with('m') => (t[..t.len() - 1].to_string(), 1u64 << 20),
+        t if t.ends_with('g') => (t[..t.len() - 1].to_string(), 1u64 << 30),
+        t => (t, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .filter(|&n| n > 0)
+        .and_then(|n| n.checked_mul(mult))
+}
+
+fn parse_serve_args() -> Result<(serve::ServeConfig, Option<String>, bool), String> {
     let mut args = std::env::args().skip(2); // binary name + "serve"
     let mut config = serve::ServeConfig::new(".retimer-cache");
     let mut socket: Option<String> = None;
+    let mut fsck = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--cache" => config.cache_dir = args.next().ok_or("--cache needs a directory")?.into(),
@@ -1290,18 +1325,28 @@ fn parse_serve_args() -> Result<(serve::ServeConfig, Option<String>), String> {
                         .ok_or("--max-iters needs a positive integer")?,
                 )
             }
+            "--cache-max-bytes" => {
+                config.cache_max_bytes = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(parse_byte_size)
+                        .ok_or("--cache-max-bytes needs a positive size (bytes, or with k/m/g)")?,
+                )
+            }
+            "--fsck" => fsck = true,
             "--socket" => socket = Some(args.next().ok_or("--socket needs a path")?),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: retimer serve [--cache DIR] [--threads T] [--queue N] \
-                     [--time-budget SECS] [--max-iters N] [--socket PATH]"
+                     [--time-budget SECS] [--max-iters N] [--cache-max-bytes SIZE] \
+                     [--socket PATH] [--fsck]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok((config, socket))
+    Ok((config, socket, fsck))
 }
 
 fn append_csv(path: &str, run: &minobswin::experiment::CircuitRun) -> std::io::Result<()> {

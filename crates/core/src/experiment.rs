@@ -414,7 +414,23 @@ fn run_experiment(circuit: &Circuit, config: &RunConfig) -> Result<CircuitRun, S
         if let Some(prefix) = &config.checkpoint {
             let path = checkpoint_path(prefix, method);
             if config.resume && path.exists() {
-                sup = sup.resume_from(Checkpoint::read_file(&path)?);
+                match Checkpoint::read_file(&path) {
+                    Ok(checkpoint) => sup = sup.resume_from(checkpoint),
+                    Err(e) => {
+                        // Self-healing: a checkpoint that fails its
+                        // seal or parse is moved aside (preserved for
+                        // inspection, never rewritten in place) and
+                        // the solve starts fresh — recomputing is
+                        // always safe, resuming corrupt state never is.
+                        let quarantined = path.with_extension("ckpt.corrupt");
+                        let _ = netlist::fio::rename(&path, &quarantined);
+                        eprintln!(
+                            "warning: ignoring corrupt checkpoint ({e}); \
+                             moved to {} and solving from scratch",
+                            quarantined.display()
+                        );
+                    }
+                }
             }
             sup = sup.checkpoint_to(FileCheckpointSink::new(path));
         }

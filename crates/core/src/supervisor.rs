@@ -34,7 +34,6 @@
 //! ```
 
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -567,15 +566,26 @@ impl Checkpoint {
         })
     }
 
-    /// Reads and parses a checkpoint file.
+    /// Reads and parses a checkpoint file, verifying its sealed
+    /// content digest when one is present ([`FileCheckpointSink`]
+    /// always writes one; headerless files are accepted as legacy
+    /// checkpoints and rely on the strict text format alone).
     ///
     /// # Errors
     ///
-    /// [`SolveError::Checkpoint`] on read or parse failure.
+    /// [`SolveError::Checkpoint`] on read, seal-verification or parse
+    /// failure.
     pub fn read_file(path: &Path) -> Result<Self, SolveError> {
-        let text = fs::read_to_string(path)
+        let text = netlist::fio::read_to_string(path)
             .map_err(|e| SolveError::Checkpoint(format!("{}: {e}", path.display())))?;
-        Self::parse(&text).map_err(|m| SolveError::Checkpoint(format!("{}: {m}", path.display())))
+        let body = match netlist::fio::unseal(&text) {
+            Ok(payload) => payload,
+            Err(netlist::fio::SealError::Missing) => &text,
+            Err(e) => {
+                return Err(SolveError::Checkpoint(format!("{}: {e}", path.display())));
+            }
+        };
+        Self::parse(body).map_err(|m| SolveError::Checkpoint(format!("{}: {m}", path.display())))
     }
 
     /// Validates the checkpoint against the instance it is about to
@@ -643,7 +653,10 @@ pub trait CheckpointSink {
 }
 
 /// A [`CheckpointSink`] writing atomically to one file (temp file in
-/// the same directory, then rename).
+/// the same directory, then rename) through the fault-injectable
+/// `netlist::fio` shim, with the payload sealed under its content
+/// digest so a torn or bit-flipped checkpoint is detected at resume
+/// instead of silently resuming wrong state.
 #[derive(Debug, Clone)]
 pub struct FileCheckpointSink {
     path: PathBuf,
@@ -663,9 +676,7 @@ impl FileCheckpointSink {
 
 impl CheckpointSink for FileCheckpointSink {
     fn save(&mut self, checkpoint: &Checkpoint) -> io::Result<()> {
-        let tmp = self.path.with_extension("ckpt.tmp");
-        fs::write(&tmp, checkpoint.serialize())?;
-        fs::rename(&tmp, &self.path)
+        netlist::fio::write_atomic(&self.path, &netlist::fio::seal(&checkpoint.serialize()))
     }
 }
 
@@ -1098,6 +1109,7 @@ impl SolveOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn sample_checkpoint() -> Checkpoint {
         Checkpoint {

@@ -16,6 +16,9 @@
 //! * [`DelayModel`]: integer gate delays,
 //! * [`digest`]: the suite's shared FNV-1a content digests, with the
 //!   self-describing `fnv1a-v1:` version tag,
+//! * [`fio`]: the fault-injectable filesystem shim (seeded
+//!   ENOSPC/torn-write/bit-flip/orphan plans behind `SABOTAGE_FIO_PLAN`)
+//!   and the sealed-file envelope every durable write uses,
 //! * [`rng`]: a reproducible PRNG shared by the whole suite,
 //! * [`samples`]: hand-built circuits for tests and figure
 //!   reproductions.
@@ -48,6 +51,7 @@ mod circuit;
 mod delay;
 pub mod digest;
 mod error;
+pub mod fio;
 mod gate;
 pub mod generator;
 mod levels;

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use minobswin::algorithm::SolverConfig;
 use minobswin::closure_inc::ClosureEngine;
@@ -48,6 +48,10 @@ pub struct ServeConfig {
     pub default_time_budget: Option<f64>,
     /// Default per-job iteration budget.
     pub default_max_iters: Option<usize>,
+    /// Size budget for the cache's stage directories, enforced by LRU
+    /// eviction (`None`: unbounded). See
+    /// [`ResultCache::with_max_bytes`].
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl ServeConfig {
@@ -60,6 +64,7 @@ impl ServeConfig {
             cache_dir: cache_dir.into(),
             default_time_budget: None,
             default_max_iters: None,
+            cache_max_bytes: None,
         }
     }
 }
@@ -144,7 +149,7 @@ pub enum Event {
         /// Job id.
         id: JobId,
         /// The terminal state (`Done` / `Degraded` / `Cancelled` /
-        /// `Failed`).
+        /// `Failed` / `Expired`).
         state: JobState,
         /// Whether the result came from the cache.
         cached: bool,
@@ -177,6 +182,10 @@ struct JobEntry {
     token: CancelToken,
     cancel_requested: bool,
     result_key: Option<String>,
+    /// When this process admitted the job; the `deadline_ms` clock.
+    /// Recovered jobs get a fresh clock — a restart must not expire
+    /// everything that sat out the downtime.
+    admitted: Instant,
 }
 
 struct State {
@@ -226,13 +235,26 @@ pub struct Daemon {
 impl Daemon {
     /// Starts the worker pool and re-enqueues any jobs a previous
     /// daemon process persisted but never finished (their solver
-    /// checkpoints, if any, are resumed).
+    /// checkpoints, if any, are resumed). Before recovery scanning,
+    /// one [`ResultCache::fsck`] pass heals the cache: orphaned
+    /// `.tmp` files from interrupted writes are removed and corrupt
+    /// entries quarantined, so recovery never trusts a torn file.
     ///
     /// # Errors
     ///
     /// Propagates cache-directory creation failures.
     pub fn start(config: ServeConfig) -> io::Result<Self> {
-        let cache = ResultCache::open(&config.cache_dir)?;
+        let cache = ResultCache::open(&config.cache_dir)?.with_max_bytes(config.cache_max_bytes);
+        let fsck = cache.fsck();
+        if fsck.dirty() {
+            eprintln!(
+                "warning: cache fsck healed {}: removed {} orphaned tmp file(s), \
+                 quarantined {} corrupt entr(y/ies)",
+                config.cache_dir.display(),
+                fsck.tmp_removed,
+                fsck.quarantined
+            );
+        }
         let recovered = cache.scan_jobs();
         let (tx, rx) = mpsc::channel();
         let shared = Arc::new(Shared {
@@ -330,6 +352,7 @@ impl Daemon {
                     token: CancelToken::new(),
                     cancel_requested: false,
                     result_key: None,
+                    admitted: Instant::now(),
                 },
             );
         }
@@ -493,12 +516,13 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// Runs one job to a terminal state. Never panics the worker: every
 /// failure path maps onto `JobState::Failed` with a stable exit code.
 fn run_job(shared: &Arc<Shared>, id: &str) {
-    let (spec, token, cancelled_early) = {
+    let (spec, token, admitted, cancelled_early) = {
         let st = shared.state.lock().expect("daemon state poisoned");
         let Some(entry) = st.jobs.get(id) else { return };
         (
             entry.spec.clone(),
             entry.token.clone(),
+            entry.admitted,
             entry.state.is_terminal(),
         )
     };
@@ -516,6 +540,38 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
             key,
         });
     };
+
+    // --- spec sanity --------------------------------------------------
+    // The SER engine's bit-packed signatures require the vector count
+    // to be a positive multiple of 64; anything else would panic the
+    // worker thread deep in the solver. Reject it as a job failure
+    // (exit 2, like every other invalid input) instead.
+    if spec.vectors == 0 || spec.vectors % 64 != 0 {
+        finish(
+            JobState::Failed {
+                exit: 2,
+                error: format!(
+                    "`vectors` must be a positive multiple of 64, got {}",
+                    spec.vectors
+                ),
+            },
+            false,
+            None,
+        );
+        return;
+    }
+
+    // --- admission deadline ------------------------------------------
+    // Checked at dequeue: a job that waited out its deadline in the
+    // queue is rejected without spending any solver time on it. A job
+    // that *starts* in time runs to completion regardless.
+    if spec
+        .deadline_ms
+        .is_some_and(|ms| admitted.elapsed() >= Duration::from_millis(ms))
+    {
+        finish(JobState::Expired, false, None);
+        return;
+    }
 
     // --- parse (netlist cache stage) ---------------------------------
     shared.set_state(id, JobState::Parsing);
@@ -640,7 +696,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
     // Either way the solve is over; drop its checkpoints (a finished
     // run must not leave resume bait behind).
     for method in ["minobs", "minobswin"] {
-        let _ = std::fs::remove_file(checkpoint_path(&checkpoint_prefix, method));
+        let _ = netlist::fio::remove_file(&checkpoint_path(&checkpoint_prefix, method));
     }
 
     let cancel_requested = {

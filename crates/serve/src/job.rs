@@ -8,6 +8,7 @@
 //!                                                 ├─ degraded   exit 4
 //!                                                 ├─ cancelled  exit 4
 //!                                                 └─ failed     exit 1|2|3
+//! queued ──(deadline_ms elapsed before a worker dequeues)─ expired  exit 5
 //! ```
 
 use crate::json::Json;
@@ -128,6 +129,12 @@ pub struct JobSpec {
     pub max_iters: Option<usize>,
     /// Solver closure engine.
     pub closure: ClosureChoice,
+    /// Admission deadline in milliseconds: if the job is still queued
+    /// this long after admission, a worker rejects it as
+    /// [`JobState::Expired`] instead of running it (`None`: wait
+    /// forever). Not part of the config fingerprint — it decides
+    /// whether the job runs, never what the solve produces.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -146,6 +153,7 @@ impl JobSpec {
             time_budget: None,
             max_iters: None,
             closure: ClosureChoice::default(),
+            deadline_ms: None,
         }
     }
 
@@ -171,6 +179,9 @@ impl JobSpec {
         }
         if let Some(n) = self.max_iters {
             pairs.push(("max_iters", Json::num(n as f64)));
+        }
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms", Json::num(ms as f64)));
         }
         Json::obj(pairs)
     }
@@ -215,8 +226,10 @@ impl JobSpec {
             }
         };
         if let Some(n) = uint("vectors")? {
-            if n == 0 {
-                return Err("`vectors` must be positive".into());
+            // The SER engine's bit-packed signatures require a
+            // positive multiple of 64.
+            if n == 0 || n % 64 != 0 {
+                return Err("`vectors` must be a positive multiple of 64".into());
             }
             spec.vectors = n as usize;
         }
@@ -234,6 +247,9 @@ impl JobSpec {
         }
         if let Some(n) = uint("max_iters")? {
             spec.max_iters = Some(n as usize);
+        }
+        if let Some(ms) = uint("deadline_ms")? {
+            spec.deadline_ms = Some(ms);
         }
         if let Some(r) = v.get("r_min") {
             spec.r_min = Some(r.as_i64().ok_or("`r_min` must be an integer")?);
@@ -283,6 +299,11 @@ pub enum JobState {
         /// The error message.
         error: String,
     },
+    /// Still queued when its [`JobSpec::deadline_ms`] elapsed; a
+    /// worker rejected it without running the solve (exit 5 — the
+    /// first code beyond the one-shot CLI's 0–4 range, since a
+    /// one-shot run has no queue to expire in).
+    Expired,
 }
 
 impl JobState {
@@ -290,7 +311,11 @@ impl JobState {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobState::Done | JobState::Degraded | JobState::Cancelled | JobState::Failed { .. }
+            JobState::Done
+                | JobState::Degraded
+                | JobState::Cancelled
+                | JobState::Failed { .. }
+                | JobState::Expired
         )
     }
 
@@ -301,6 +326,7 @@ impl JobState {
             JobState::Done => Some(0),
             JobState::Degraded | JobState::Cancelled => Some(4),
             JobState::Failed { exit, .. } => Some(*exit),
+            JobState::Expired => Some(5),
             _ => None,
         }
     }
@@ -316,6 +342,7 @@ impl JobState {
             JobState::Degraded => "degraded",
             JobState::Cancelled => "cancelled",
             JobState::Failed { .. } => "failed",
+            JobState::Expired => "expired",
         }
     }
 }
@@ -332,6 +359,7 @@ mod tests {
         spec.time_budget = Some(1.5);
         spec.max_iters = Some(99);
         spec.closure = ClosureChoice::Fresh;
+        spec.deadline_ms = Some(2_500);
         let json = spec.to_json().to_string();
         let back = JobSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, spec);
@@ -363,8 +391,11 @@ mod tests {
             .exit_code(),
             Some(2)
         );
+        assert_eq!(JobState::Expired.exit_code(), Some(5));
+        assert_eq!(JobState::Expired.name(), "expired");
         assert_eq!(JobState::Queued.exit_code(), None);
         assert!(!JobState::Parsing.is_terminal());
         assert!(JobState::Cancelled.is_terminal());
+        assert!(JobState::Expired.is_terminal());
     }
 }

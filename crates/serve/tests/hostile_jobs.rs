@@ -1,0 +1,152 @@
+//! Property tests over hostile `jobs/` directory contents: whatever a
+//! crashed daemon, a stray editor, or disk corruption leaves behind,
+//! `scan_jobs` must never panic and must return exactly the valid
+//! specs, and `fsck` must quarantine precisely the malformed job
+//! files while leaving the valid ones in service.
+
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use serve::job::{JobSpec, NetlistFormat};
+use serve::ResultCache;
+
+fn tmpdir(tag: &str, case: u64) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("serve-hostile-{tag}-{}-{case}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One hostile occupant of `jobs/`, decoded from a `(kind, nonce)`
+/// draw. `Valid`/`LegacyValid` must survive every pass; everything
+/// else must be skipped by `scan_jobs` and quarantined (or, for
+/// directories, left alone) by `fsck`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Occupant {
+    /// A sealed, well-formed spec — the files this build writes.
+    Valid,
+    /// A headerless but well-formed spec — what pre-sealing builds
+    /// wrote; still honored.
+    LegacyValid,
+    /// JSON cut off mid-object (a torn write without a seal).
+    TruncatedJson,
+    /// A seal whose digest does not match its payload (bit rot).
+    ForgedSeal,
+    /// Zero bytes (an interrupted create).
+    Empty,
+    /// Arbitrary non-JSON noise (content varied by the nonce).
+    Noise,
+    /// A *directory* named like a job file.
+    Directory,
+}
+
+const KINDS: [Occupant; 7] = [
+    Occupant::Valid,
+    Occupant::LegacyValid,
+    Occupant::TruncatedJson,
+    Occupant::ForgedSeal,
+    Occupant::Empty,
+    Occupant::Noise,
+    Occupant::Directory,
+];
+
+fn spec_for(id: &str) -> JobSpec {
+    JobSpec::new(id, "INPUT(a)\nOUTPUT(a)\n", NetlistFormat::Bench)
+}
+
+/// Plants one occupant as `jobs/<id>.job` and reports whether
+/// `scan_jobs` must return it.
+fn plant(cache: &ResultCache, id: &str, occupant: Occupant, nonce: u64) -> bool {
+    let path = cache.root().join("jobs").join(format!("{id}.job"));
+    match occupant {
+        Occupant::Valid => {
+            cache.persist_job(&spec_for(id)).expect("persist succeeds");
+            true
+        }
+        Occupant::LegacyValid => {
+            fs::write(&path, spec_for(id).to_json().to_string()).unwrap();
+            true
+        }
+        Occupant::TruncatedJson => {
+            let full = spec_for(id).to_json().to_string();
+            // Cut anywhere strictly inside the object.
+            let cut = 1 + (nonce as usize % (full.len() - 2));
+            fs::write(&path, &full[..cut]).unwrap();
+            false
+        }
+        Occupant::ForgedSeal => {
+            fs::write(
+                &path,
+                format!("#%seal fnv1a-v1:{nonce:016x}\n{}", spec_for(id).to_json()),
+            )
+            .unwrap();
+            false
+        }
+        Occupant::Empty => {
+            fs::write(&path, "").unwrap();
+            false
+        }
+        Occupant::Noise => {
+            fs::write(&path, format!("{{noise {nonce:x} \u{1}\u{2}")).unwrap();
+            false
+        }
+        Occupant::Directory => {
+            fs::create_dir_all(&path).unwrap();
+            false
+        }
+    }
+}
+
+proptest! {
+    /// `scan_jobs` over any mix of hostile occupants never panics and
+    /// returns exactly the valid specs, in sorted id order.
+    #[test]
+    fn scan_jobs_skips_precisely_the_malformed(
+        draws in prop::collection::vec((0u64..7, 1u64..u64::MAX), 0usize..12),
+        case in 0u64..u64::MAX,
+    ) {
+        let dir = tmpdir("scan", case);
+        let cache = ResultCache::open(&dir).unwrap();
+        let mut expected: Vec<String> = Vec::new();
+        for (i, (kind, nonce)) in draws.iter().enumerate() {
+            let id = format!("job-{i:02}");
+            if plant(&cache, &id, KINDS[*kind as usize], *nonce) {
+                expected.push(id);
+            }
+        }
+        let scanned: Vec<String> = cache.scan_jobs().into_iter().map(|s| s.id).collect();
+        prop_assert_eq!(scanned, expected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// `fsck` quarantines exactly the malformed job *files* (never the
+    /// valid or legacy ones, never directories), and afterwards
+    /// `scan_jobs` still returns every valid spec.
+    #[test]
+    fn fsck_quarantines_precisely_the_malformed(
+        draws in prop::collection::vec((0u64..7, 1u64..u64::MAX), 0usize..12),
+        case in 0u64..u64::MAX,
+    ) {
+        let dir = tmpdir("fsck", case);
+        let cache = ResultCache::open(&dir).unwrap();
+        let mut valid = 0usize;
+        let mut quarantinable = 0usize;
+        for (i, (kind, nonce)) in draws.iter().enumerate() {
+            let id = format!("job-{i:02}");
+            let kind = KINDS[*kind as usize];
+            match (plant(&cache, &id, kind, *nonce), kind) {
+                (true, _) => valid += 1,
+                (false, Occupant::Directory) => {} // left alone
+                (false, _) => quarantinable += 1,
+            }
+        }
+        let report = cache.fsck();
+        prop_assert_eq!(report.quarantined, quarantinable);
+        prop_assert_eq!(report.tmp_removed, 0);
+        prop_assert_eq!(cache.scan_jobs().len(), valid);
+        // Idempotent: a second pass finds nothing left to do.
+        prop_assert_eq!(cache.fsck().quarantined, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
